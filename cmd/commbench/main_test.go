@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListExperiments(t *testing.T) {
+	code, out, _ := runCLI(t, "-listexp")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8",
+		"fpr", "table1", "patterns", "eq2", "phases", "sampling", "sparse", "throughput"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiment list missing %s", want)
+		}
+	}
+}
+
+func TestEq2Experiment(t *testing.T) {
+	code, out, errOut := runCLI(t, "-exp", "eq2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "586.6 MB") || !strings.Contains(out, "≈580 MB") {
+		t.Errorf("eq2 output wrong:\n%s", out)
+	}
+}
+
+func TestFig8Experiment(t *testing.T) {
+	code, out, errOut := runCLI(t, "-exp", "fig8", "-threads", "8")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"radix", "raytrace", "radiosity", "thread load"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig8 output missing %q", want)
+		}
+	}
+}
+
+func TestSparseExperiment(t *testing.T) {
+	code, out, errOut := runCLI(t, "-exp", "sparse", "-threads", "8")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "ring-4096") || !strings.Contains(out, "winner") {
+		t.Errorf("sparse output wrong:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, errOut := runCLI(t, "-exp", "fig99")
+	if code != 2 || !strings.Contains(errOut, "unknown experiment") {
+		t.Fatalf("exit %d, err %q", code, errOut)
+	}
+}
+
+func TestMissingExperiment(t *testing.T) {
+	code, _, errOut := runCLI(t)
+	if code != 2 || !strings.Contains(errOut, "-exp is required") {
+		t.Fatalf("exit %d, err %q", code, errOut)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runCLI(t, "-nope"); code != 2 {
+		t.Error("bad flag exit != 2")
+	}
+}
+
+func TestFig2Experiment(t *testing.T) {
+	code, out, errOut := runCLI(t, "-exp", "fig2", "-threads", "8")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "BLACK") || !strings.Contains(out, "gray") {
+		t.Errorf("fig2 output wrong:\n%s", out)
+	}
+}
+
+func TestFig6Experiment(t *testing.T) {
+	code, out, errOut := runCLI(t, "-exp", "fig6", "-threads", "8")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"daxpy", "bmod", "Hotspot 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig6 output missing %q", want)
+		}
+	}
+}
+
+func TestQueueExperiment(t *testing.T) {
+	code, out, errOut := runCLI(t, "-exp", "queue", "-threads", "8")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "bursty") || !strings.Contains(out, "paced") {
+		t.Errorf("queue output wrong:\n%s", out)
+	}
+}
+
+func TestPhasesExperiment(t *testing.T) {
+	code, out, errOut := runCLI(t, "-exp", "phases", "-threads", "8")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "phase 1") {
+		t.Errorf("phases output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,181 @@
+// Command commprof profiles one of the bundled SPLASH-2-style benchmarks and
+// prints its nested communication patterns, hotspot thread loads, detected
+// phases and pattern classification. It can also record the run's access
+// trace for later offline analysis, or replay a previously recorded trace.
+//
+// Usage:
+//
+//	commprof -app lu_ncb -threads 32 -size simdev
+//	commprof -list
+//	commprof -app fft -heatmap -classify
+//	commprof -app radix -record radix.trace
+//	commprof -replay radix.trace -threads 32
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"commprof"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("commprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		app      = fs.String("app", "", "benchmark to profile (see -list)")
+		list     = fs.Bool("list", false, "list available benchmarks and exit")
+		threads  = fs.Int("threads", 32, "simulated thread count")
+		size     = fs.String("size", "simdev", "input size: simdev, simsmall or simlarge")
+		seed     = fs.Int64("seed", 42, "workload random seed")
+		slots    = fs.Uint64("sig", 1<<20, "signature slots (n)")
+		fpRate   = fs.Float64("fpr", 0.001, "bloom-filter false-positive rate")
+		phases   = fs.Uint64("phases", 0, "phase-segmentation window in logical time units (0 = off)")
+		heatmap  = fs.Bool("heatmap", false, "print the global matrix heatmap")
+		csv      = fs.Bool("csv", false, "print the global matrix as CSV")
+		classify = fs.Bool("classify", false, "classify the global matrix's parallel pattern")
+		jsonOut  = fs.Bool("json", false, "emit the full report as JSON instead of text")
+		parallel = fs.Bool("parallel", false, "run threads as free goroutines (non-deterministic)")
+		sample   = fs.Uint("sample", 0, "read-sampling period: analyse 1 of every N reads (0 = all)")
+		gran     = fs.Uint("granularity", 0, "analysis granularity in address bits (0 = per address, 6 = 64B lines)")
+		record   = fs.String("record", "", "also write the access trace to this file")
+		replay   = fs.String("replay", "", "analyse a recorded trace file instead of running a benchmark")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, n := range commprof.Workloads() {
+			fmt.Fprintln(stdout, n)
+		}
+		return 0
+	}
+
+	opts := commprof.Options{
+		Workload:        *app,
+		Threads:         *threads,
+		InputSize:       *size,
+		Seed:            *seed,
+		SignatureSlots:  *slots,
+		BloomFPRate:     *fpRate,
+		PhaseWindow:     *phases,
+		Parallel:        *parallel,
+		GranularityBits: *gran,
+	}
+	if *sample > 0 {
+		opts.SampleBurst, opts.SamplePeriod = 1, uint32(*sample)
+	}
+
+	var rep *commprof.Report
+	var err error
+	switch {
+	case *replay != "":
+		f, ferr := os.Open(*replay)
+		if ferr != nil {
+			fmt.Fprintln(stderr, "commprof:", ferr)
+			return 1
+		}
+		defer f.Close()
+		rep, err = commprof.Replay(f, *threads, opts)
+	case *app == "all":
+		return runAll(opts, stdout, stderr)
+	case *app == "":
+		fmt.Fprintln(stderr, "commprof: -app is required (or -list/-replay); available:", strings.Join(commprof.Workloads(), ", "))
+		return 2
+	case *record != "":
+		f, ferr := os.Create(*record)
+		if ferr != nil {
+			fmt.Fprintln(stderr, "commprof:", ferr)
+			return 1
+		}
+		rep, err = commprof.Record(opts, f)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+	default:
+		rep, err = commprof.Profile(opts)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "commprof:", err)
+		return 1
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "commprof:", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprint(stdout, rep.Summary())
+	if rep.SampleFraction < 1 {
+		fmt.Fprintf(stdout, "\n(read sampling active: %.1f%% of reads analysed; volumes scale accordingly)\n",
+			100*rep.SampleFraction)
+	}
+	if *heatmap {
+		fmt.Fprintln(stdout, "\nglobal communication matrix:")
+		fmt.Fprint(stdout, rep.Global.Heatmap())
+	}
+	if *csv {
+		fmt.Fprint(stdout, rep.Global.CSV())
+	}
+	if *classify {
+		c, err := commprof.NewPatternClassifier(*seed)
+		if err != nil {
+			fmt.Fprintln(stderr, "commprof:", err)
+			return 1
+		}
+		class, err := c.Classify(rep.Global)
+		if err != nil {
+			fmt.Fprintln(stderr, "commprof:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\npattern class: %s\n", class)
+	}
+	return 0
+}
+
+// runAll prints a one-line summary per bundled benchmark.
+func runAll(opts commprof.Options, stdout, stderr io.Writer) int {
+	classifier, err := commprof.NewPatternClassifier(opts.Seed)
+	if err != nil {
+		fmt.Fprintln(stderr, "commprof:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%-11s %10s %9s %12s %-22s %s\n",
+		"app", "accesses", "deps", "comm bytes", "top hotspot", "hotspot class")
+	for _, app := range commprof.Workloads() {
+		o := opts
+		o.Workload = app
+		rep, err := commprof.Profile(o)
+		if err != nil {
+			fmt.Fprintln(stderr, "commprof:", err)
+			return 1
+		}
+		hotspot, class := "-", "-"
+		if len(rep.Hotspots) > 0 {
+			hotspot = rep.Hotspots[0].Region
+			for _, r := range rep.Regions {
+				if r.Name == hotspot {
+					if c, err := classifier.Classify(r.Matrix); err == nil {
+						class = c
+					}
+				}
+			}
+		}
+		fmt.Fprintf(stdout, "%-11s %10d %9d %12d %-22s %s\n",
+			app, rep.Accesses, rep.Dependencies, rep.CommBytes, hotspot, class)
+	}
+	return 0
+}

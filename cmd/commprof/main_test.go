@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func jsonUnmarshal(s string, v any) error { return json.Unmarshal([]byte(s), v) }
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"lu_ncb", "radix", "water_nsq"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %s", want)
+		}
+	}
+}
+
+func TestProfileRun(t *testing.T) {
+	code, out, errOut := runCLI(t, "-app", "fft", "-threads", "8", "-heatmap", "-csv", "-classify")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"workload fft", "hotspots", "consumers", "pattern class:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestMissingApp(t *testing.T) {
+	code, _, errOut := runCLI(t)
+	if code != 2 || !strings.Contains(errOut, "-app is required") {
+		t.Fatalf("exit %d, err %q", code, errOut)
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	code, _, errOut := runCLI(t, "-app", "doom")
+	if code != 1 || !strings.Contains(errOut, "unknown benchmark") {
+		t.Fatalf("exit %d, err %q", code, errOut)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	code, _, _ := runCLI(t, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+func TestSamplingFlag(t *testing.T) {
+	code, out, errOut := runCLI(t, "-app", "ocean_cp", "-threads", "8", "-sample", "4")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "read sampling active: 25.0%") {
+		t.Errorf("sampling note missing:\n%s", out)
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "fft.trace")
+	code, out1, errOut := runCLI(t, "-app", "fft", "-threads", "8", "-record", tracePath)
+	if code != 0 {
+		t.Fatalf("record exit %d: %s", code, errOut)
+	}
+	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file: %v %v", fi, err)
+	}
+	code, out2, errOut := runCLI(t, "-replay", tracePath, "-threads", "8")
+	if code != 0 {
+		t.Fatalf("replay exit %d: %s", code, errOut)
+	}
+	// Same dependency count line in both outputs.
+	depLine := func(s string) string {
+		for _, l := range strings.Split(s, "\n") {
+			if strings.Contains(l, "RAW deps") {
+				return l[strings.Index(l, "threads,")+8:]
+			}
+		}
+		return ""
+	}
+	if depLine(out1) == "" || depLine(out1) != depLine(out2) {
+		t.Fatalf("replay diverged:\n%q\n%q", depLine(out1), depLine(out2))
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	code, _, errOut := runCLI(t, "-replay", "/nonexistent/file.trace")
+	if code != 1 || !strings.Contains(errOut, "commprof:") {
+		t.Fatalf("exit %d, err %q", code, errOut)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, errOut := runCLI(t, "-app", "fft", "-threads", "8", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var rep map[string]any
+	if err := jsonUnmarshal(out, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep["Workload"] != "fft" {
+		t.Fatalf("Workload = %v", rep["Workload"])
+	}
+	if _, ok := rep["Global"]; !ok {
+		t.Fatal("Global matrix missing from JSON")
+	}
+}
+
+func TestAppAllSummary(t *testing.T) {
+	code, out, errOut := runCLI(t, "-app", "all", "-threads", "8")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 15 { // header + 14 apps
+		t.Fatalf("summary has %d lines:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"lu_ncb", "radix", "hotspot class", "structured-grid"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestGranularityFlag(t *testing.T) {
+	code, _, errOut := runCLI(t, "-app", "ocean_cp", "-threads", "8", "-granularity", "6")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+}

@@ -1,0 +1,206 @@
+// Package commprof is a loop-level communication-pattern profiler for
+// shared-memory parallel programs — a from-scratch reproduction of
+// "Characterizing Loop-Level Communication Patterns in Shared Memory
+// Applications" (Mazaheri, Jannesari, Mirzaei, Wolf — ICPP 2015).
+//
+// The profiler detects read-after-write dependencies between threads on the
+// fly using an asymmetric signature memory (a two-level bloom-filter read
+// signature plus a one-level last-writer write signature), and aggregates
+// them into communication matrices nested by static code region (functions
+// and annotated loops). From the matrices it derives per-thread load metrics
+// (Eq. 1), communication phases, and parallel-pattern classifications.
+//
+// Three entry points:
+//
+//   - Profile runs one of the bundled SPLASH-2-style benchmarks under the
+//     profiler and returns a full Report.
+//   - ProfileTrace analyses a recorded access trace you supply.
+//   - Run executes your own workload body on the simulated thread engine
+//     with the profiler attached.
+package commprof
+
+import (
+	"fmt"
+
+	"commprof/internal/comm"
+	"commprof/internal/detect"
+	"commprof/internal/exec"
+	"commprof/internal/metrics"
+	"commprof/internal/sig"
+	"commprof/internal/splash"
+)
+
+// Options configures a profiling run.
+type Options struct {
+	// Workload names a bundled benchmark (see Workloads). Required for
+	// Profile; ignored by ProfileTrace and Run.
+	Workload string
+	// Threads is the simulated thread count (default 32, the paper's
+	// configuration).
+	Threads int
+	// InputSize is "simdev", "simsmall" or "simlarge" (default "simdev").
+	InputSize string
+	// Seed drives all workload randomness (default 42).
+	Seed int64
+	// SignatureSlots is the signature size n (default 2^20). Larger means
+	// fewer false dependencies and more memory (Eq. 2).
+	SignatureSlots uint64
+	// BloomFPRate is the per-slot bloom-filter false-positive rate
+	// (default 0.001, the paper's setting).
+	BloomFPRate float64
+	// PhaseWindow, when non-zero, enables phase segmentation with the given
+	// logical-time window length.
+	PhaseWindow uint64
+	// Parallel runs threads as free goroutines instead of the deterministic
+	// round-robin scheduler. Results remain correct but are no longer
+	// bit-reproducible across runs.
+	Parallel bool
+	// SampleBurst/SamplePeriod enable read sampling (the paper's §VII
+	// overhead-reduction outlook): of every SamplePeriod reads per thread,
+	// the first SampleBurst are analysed; writes are always analysed. Zero
+	// values disable sampling. Detected volumes scale by roughly
+	// SampleBurst/SamplePeriod.
+	SampleBurst, SamplePeriod uint32
+	// GranularityBits coarsens the analysis granularity: addresses are
+	// shifted right by this amount before consulting the signature (0 =
+	// per-address, 6 = 64-byte cache lines). Coarser analysis reduces
+	// signature collisions but merges neighbouring variables (false
+	// sharing appears).
+	GranularityBits uint
+}
+
+func (o *Options) setDefaults() {
+	if o.Threads == 0 {
+		o.Threads = 32
+	}
+	if o.InputSize == "" {
+		o.InputSize = "simdev"
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.SignatureSlots == 0 {
+		o.SignatureSlots = 1 << 20
+	}
+	if o.BloomFPRate == 0 {
+		o.BloomFPRate = 0.001
+	}
+}
+
+// Workloads returns the names of the bundled SPLASH-2-style benchmarks.
+func Workloads() []string { return splash.Names() }
+
+// SignatureMemoryBytes is Eq. 2: the fixed analysis-memory bound for a
+// signature with n slots, t threads and the given bloom false-positive rate.
+func SignatureMemoryBytes(slots uint64, threads int, fpRate float64) uint64 {
+	return sig.SigMem(slots, threads, fpRate)
+}
+
+// Profile runs the named bundled workload under the profiler.
+func Profile(opts Options) (*Report, error) {
+	opts.setDefaults()
+	size, err := splash.ParseSize(opts.InputSize)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := splash.New(opts.Workload, splash.Config{
+		Threads: opts.Threads, Size: size, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	backend, err := sig.NewAsymmetric(sig.Options{
+		Slots: opts.SignatureSlots, Threads: opts.Threads, FPRate: opts.BloomFPRate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var seg *metrics.PhaseSegmenter
+	dopts := detect.Options{
+		Threads: opts.Threads, Backend: backend, Table: prog.Table(),
+		GranularityBits: opts.GranularityBits,
+	}
+	if opts.PhaseWindow > 0 && !opts.Parallel {
+		seg, err = metrics.NewPhaseSegmenter(opts.Threads, opts.PhaseWindow, 0.7)
+		if err != nil {
+			return nil, err
+		}
+		dopts.OnEvent = seg.Observe
+	}
+	d, err := detect.New(dopts)
+	if err != nil {
+		return nil, err
+	}
+	probe := d.Probe()
+	sampleFraction := 1.0
+	if opts.SamplePeriod > 0 {
+		smp, err := detect.NewSampler(d, opts.SampleBurst, opts.SamplePeriod)
+		if err != nil {
+			return nil, err
+		}
+		probe = smp.Probe()
+		sampleFraction = smp.SampleFraction()
+	}
+	eng := exec.New(exec.Options{Threads: opts.Threads, Probe: probe, Parallel: opts.Parallel})
+	stats, err := prog.Run(eng)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := buildReport(opts.Workload, opts.Threads, d, stats, backend.FootprintBytes())
+	if err != nil {
+		return nil, err
+	}
+	rep.SampleFraction = sampleFraction
+	if seg != nil {
+		for _, ph := range seg.Finish() {
+			rep.Phases = append(rep.Phases, PhaseReport{
+				Start: ph.Start, End: ph.End, Matrix: fromInternal(ph.Matrix),
+			})
+		}
+	}
+	return rep, nil
+}
+
+func buildReport(name string, threads int, d *detect.Detector, stats exec.Stats, sigBytes uint64) (*Report, error) {
+	tree, err := d.Tree()
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.CheckSummationLaw(); err != nil {
+		return nil, fmt.Errorf("commprof: internal invariant violated: %w", err)
+	}
+	dstats := d.Stats()
+	rep := &Report{
+		Workload:       name,
+		Threads:        threads,
+		Accesses:       stats.Accesses,
+		Dependencies:   dstats.Detected,
+		CommBytes:      dstats.CommBytes,
+		SignatureBytes: sigBytes,
+		SampleFraction: 1,
+		Global:         fromInternal(tree.Global),
+	}
+	tree.Walk(func(n *comm.Node, depth int) {
+		rep.Regions = append(rep.Regions, RegionReport{
+			Name:            n.Region.Name,
+			Kind:            n.Region.Kind.String(),
+			Depth:           depth,
+			Accesses:        n.Accesses,
+			OwnBytes:        n.Own.Total(),
+			CumulativeBytes: n.Cumulative.Total(),
+			Matrix:          fromInternal(n.Cumulative),
+		})
+	})
+	for _, h := range tree.Hotspots(10) {
+		load := metrics.ThreadLoad(h.Node.Cumulative)
+		rep.Hotspots = append(rep.Hotspots, HotspotReport{
+			Region:        h.Node.Region.Name,
+			Bytes:         h.Bytes,
+			Share:         h.Share,
+			Load:          load,
+			ActiveThreads: metrics.ActiveThreads(load),
+			BalanceIndex:  metrics.BalanceIndex(load),
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,177 @@
+package commprof
+
+import (
+	"fmt"
+	"math/rand"
+
+	"commprof/internal/detect"
+	"commprof/internal/exec"
+	"commprof/internal/sig"
+	"commprof/internal/trace"
+)
+
+// AccessKind distinguishes reads and writes in user-supplied traces.
+type AccessKind uint8
+
+const (
+	// ReadAccess is a load from shared memory.
+	ReadAccess AccessKind = iota
+	// WriteAccess is a store to shared memory.
+	WriteAccess
+)
+
+// Access is one memory operation of a user-supplied trace. Supply accesses
+// in temporal order; Region is an index into the regions passed to
+// ProfileTrace, or -1 for none.
+type Access struct {
+	Kind   AccessKind
+	Addr   uint64
+	Size   uint32
+	Thread int32
+	Region int32
+	Time   uint64
+}
+
+// Region declares one static code region for trace profiling. Parent is the
+// index of the enclosing region in the same slice, or -1 for a root. Loop
+// regions are the hotspot granularity.
+type Region struct {
+	Name   string
+	Parent int32
+	Loop   bool
+}
+
+// ProfileTrace runs the profiler offline over a recorded access trace.
+func ProfileTrace(accesses []Access, regions []Region, threads int, opts Options) (*Report, error) {
+	opts.setDefaults()
+	if threads <= 0 {
+		return nil, fmt.Errorf("commprof: threads must be positive, got %d", threads)
+	}
+	table := trace.NewTable()
+	for _, r := range regions {
+		if r.Loop {
+			table.AddLoop(r.Name, r.Parent)
+		} else {
+			table.AddFunc(r.Name, r.Parent)
+		}
+	}
+	if err := table.Validate(); err != nil {
+		return nil, fmt.Errorf("commprof: invalid region list: %w", err)
+	}
+	backend, err := sig.NewAsymmetric(sig.Options{
+		Slots: opts.SignatureSlots, Threads: threads, FPRate: opts.BloomFPRate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d, err := detect.New(detect.Options{Threads: threads, Backend: backend, Table: table})
+	if err != nil {
+		return nil, err
+	}
+	var stats exec.Stats
+	for i, a := range accesses {
+		if a.Thread < 0 || int(a.Thread) >= threads {
+			return nil, fmt.Errorf("commprof: access %d has thread %d out of range", i, a.Thread)
+		}
+		if a.Region != trace.NoRegion && (a.Region < 0 || int(a.Region) >= table.Len()) {
+			return nil, fmt.Errorf("commprof: access %d references unknown region %d", i, a.Region)
+		}
+		k := trace.Read
+		if a.Kind == WriteAccess {
+			k = trace.Write
+			stats.Writes++
+		} else {
+			stats.Reads++
+		}
+		stats.Accesses++
+		d.Process(trace.Access{
+			Time: a.Time, Addr: a.Addr, Size: a.Size,
+			Thread: a.Thread, Region: a.Region, Kind: k,
+		})
+	}
+	return buildReport("trace", threads, d, stats, backend.FootprintBytes())
+}
+
+// Thread is the handle a custom workload body uses inside Run: it mirrors
+// the paper's instrumentation points (memory accesses, loop entry/exit,
+// synchronization).
+type Thread struct {
+	t *exec.Thread
+}
+
+// ID returns the thread index in [0, threads).
+func (t *Thread) ID() int32 { return t.t.ID() }
+
+// Read issues an instrumented load.
+func (t *Thread) Read(addr uint64, size uint32) { t.t.Read(addr, size) }
+
+// Write issues an instrumented store.
+func (t *Thread) Write(addr uint64, size uint32) { t.t.Write(addr, size) }
+
+// Work simulates units of uninstrumented computation.
+func (t *Thread) Work(units int) { t.t.Work(units) }
+
+// Barrier blocks until every thread reaches a barrier.
+func (t *Thread) Barrier() { t.t.Barrier() }
+
+// Acquire takes the mutex identified by lock.
+func (t *Thread) Acquire(lock int) { t.t.Acquire(lock) }
+
+// Release frees the mutex identified by lock.
+func (t *Thread) Release(lock int) { t.t.Release(lock) }
+
+// EnterRegion pushes static region id (an index into Run's regions slice).
+func (t *Thread) EnterRegion(id int32) { t.t.EnterRegion(id) }
+
+// ExitRegion pops the innermost region.
+func (t *Thread) ExitRegion() { t.t.ExitRegion() }
+
+// InRegion runs fn inside region id.
+func (t *Thread) InRegion(id int32, fn func()) { t.t.InRegion(id, fn) }
+
+// Run executes a custom workload body once per thread on the simulated
+// engine with the profiler attached, and reports its communication patterns.
+// regions declares the static region table; region IDs passed to
+// Thread.EnterRegion are indexes into it.
+func Run(threads int, regions []Region, body func(*Thread), opts Options) (*Report, error) {
+	opts.setDefaults()
+	if threads <= 0 {
+		return nil, fmt.Errorf("commprof: threads must be positive, got %d", threads)
+	}
+	table := trace.NewTable()
+	for _, r := range regions {
+		if r.Loop {
+			table.AddLoop(r.Name, r.Parent)
+		} else {
+			table.AddFunc(r.Name, r.Parent)
+		}
+	}
+	if err := table.Validate(); err != nil {
+		return nil, fmt.Errorf("commprof: invalid region list: %w", err)
+	}
+	backend, err := sig.NewAsymmetric(sig.Options{
+		Slots: opts.SignatureSlots, Threads: threads, FPRate: opts.BloomFPRate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d, err := detect.New(detect.Options{Threads: threads, Backend: backend, Table: table})
+	if err != nil {
+		return nil, err
+	}
+	eng := exec.New(exec.Options{Threads: threads, Probe: d.Probe(), Parallel: opts.Parallel})
+	stats, err := eng.Run(func(et *exec.Thread) { body(&Thread{t: et}) })
+	if err != nil {
+		return nil, err
+	}
+	return buildReport("custom", threads, d, stats, backend.FootprintBytes())
+}
+
+// newSeededRand isolates math/rand construction so the facade has a single
+// seeding convention.
+func newSeededRand(seed int64) *rand.Rand {
+	if seed == 0 {
+		seed = 42
+	}
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,60 @@
+// Autotune: feed the Eq. 1 thread-load metric into a tuning loop.
+//
+// The paper's §IV-E use case: "this feature could be directly fed into an
+// auto-tuner program in order to automatically tune the correspondent
+// parameters". This example profiles a benchmark at several thread counts,
+// scores each configuration by hotspot load balance and communication
+// volume, and recommends the best one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"commprof"
+)
+
+func main() {
+	const app = "radix"
+	type config struct {
+		threads int
+		balance float64 // worst hotspot balance index (1.0 = even)
+		active  float64 // mean active-thread fraction over hotspots
+		comm    uint64
+		score   float64
+	}
+	var best *config
+	fmt.Printf("auto-tuning %s:\n", app)
+	fmt.Printf("%8s %10s %10s %12s %8s\n", "threads", "balance", "active", "comm bytes", "score")
+	for _, threads := range []int{4, 8, 16, 32} {
+		rep, err := commprof.Profile(commprof.Options{
+			Workload: app, Threads: threads, InputSize: "simdev",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := config{threads: threads, comm: rep.CommBytes, balance: 1}
+		var activeSum float64
+		for _, h := range rep.Hotspots {
+			if h.BalanceIndex > c.balance {
+				c.balance = h.BalanceIndex
+			}
+			activeSum += float64(h.ActiveThreads) / float64(threads)
+		}
+		if len(rep.Hotspots) > 0 {
+			c.active = activeSum / float64(len(rep.Hotspots))
+		}
+		// Score: prefer even load (balance near 1), high utilization, and
+		// low communication per thread.
+		commPerThread := float64(c.comm) / float64(threads)
+		c.score = c.active / (c.balance * (1 + commPerThread/1e5))
+		fmt.Printf("%8d %10.2f %9.0f%% %12d %8.3f\n", threads, c.balance, 100*c.active, c.comm, c.score)
+		cc := c
+		if best == nil || cc.score > best.score {
+			best = &cc
+		}
+	}
+	fmt.Printf("\nrecommended thread count for %s: %d\n", app, best.threads)
+	fmt.Println("(uneven hotspots — like radix's pairwise reduction, where only half")
+	fmt.Println(" the threads supply data — penalize wide configurations)")
+}

@@ -1,0 +1,67 @@
+// Patterndetect: identify the parallel pattern of each benchmark from its
+// communication matrix (the paper's §VI application).
+//
+// A classifier trained on canonical pattern topologies names the motif of
+// each profiled workload: linear algebra, spectral (all-to-all), n-body,
+// structured grid, master/worker, pipeline, or barrier.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"commprof"
+)
+
+func main() {
+	classifier, err := commprof.NewPatternClassifier(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	apps := []string{"fft", "ocean_cp", "ocean_ncp", "barnes", "water_nsq", "water_spat", "lu_ncb", "radiosity"}
+	fmt.Println("parallel-pattern detection, per top hotspot loop:")
+	fmt.Println("(classifying hotspots rather than whole programs is the point of")
+	fmt.Println(" nested patterns: the global matrix mixes in barrier traffic)")
+	for _, app := range apps {
+		rep, err := commprof.Profile(commprof.Options{
+			Workload: app, Threads: 16, InputSize: "simdev",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(rep.Hotspots) == 0 {
+			continue
+		}
+		hot := rep.Hotspots[0]
+		var hotMatrix commprof.Matrix
+		for _, r := range rep.Regions {
+			if r.Name == hot.Region {
+				hotMatrix = r.Matrix
+			}
+		}
+		class, err := classifier.Classify(hotMatrix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-11s %-22s -> %-15s (%d bytes)\n", app, hot.Region, class, hot.Bytes)
+	}
+
+	// Patterns also differ per hotspot within one program: classify the
+	// top hotspot loops of lu_ncb individually.
+	rep, err := commprof.Profile(commprof.Options{Workload: "lu_ncb", Threads: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-hotspot classes inside lu_ncb (nested patterns):")
+	for i, r := range rep.Regions {
+		if r.Kind != "loop" || r.CumulativeBytes == 0 {
+			continue
+		}
+		class, err := classifier.Classify(r.Matrix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s -> %s\n", r.Name, class)
+		_ = i
+	}
+}

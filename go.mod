@@ -1,0 +1,3 @@
+module commprof
+
+go 1.22

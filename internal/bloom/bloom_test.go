@@ -1,0 +1,189 @@
+package bloom
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveGeometry(t *testing.T) {
+	cases := []struct {
+		capacity uint64
+		fp       float64
+		minBits  uint64
+		maxK     int
+	}{
+		{32, 0.001, 32, 32}, // paper operating point: t=32, FPRate=0.001
+		{1, 0.01, 8, 32},    // tiny capacity still gets the 8-bit floor
+		{1000, 0.05, 1000, 32},
+	}
+	for _, c := range cases {
+		p := Derive(c.capacity, c.fp)
+		if p.Bits < c.minBits {
+			t.Errorf("Derive(%d,%g).Bits = %d, want >= %d", c.capacity, c.fp, p.Bits, c.minBits)
+		}
+		if p.Hashes < 1 || p.Hashes > c.maxK {
+			t.Errorf("Derive(%d,%g).Hashes = %d out of range", c.capacity, c.fp, p.Hashes)
+		}
+	}
+}
+
+func TestDeriveClampsDegenerateInputs(t *testing.T) {
+	for _, p := range []Params{Derive(0, 0.01), Derive(10, 0), Derive(10, 0.99), Derive(10, -3)} {
+		if p.Bits == 0 || p.Hashes < 1 {
+			t.Errorf("degenerate input produced unusable geometry %+v", p)
+		}
+	}
+}
+
+func TestBitsPerFilterEq2Term(t *testing.T) {
+	// Eq. 2's per-slot term at the paper's operating point:
+	// -32·ln(0.001)/ln²(2) ≈ 460 bits ≈ 57.5 bytes (paper divides by 8).
+	got := BitsPerFilter(32, 0.001)
+	want := -32.0 * math.Log(0.001) / (math.Ln2 * math.Ln2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("BitsPerFilter = %v, want %v", got, want)
+	}
+	if got < 440 || got > 480 {
+		t.Fatalf("BitsPerFilter(32, 0.001) = %v, expected ≈460", got)
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(elems []uint64) bool {
+		fl := NewForThreads(64, 0.01, 1)
+		for _, e := range elems {
+			fl.Add(e % 64)
+		}
+		for _, e := range elems {
+			if !fl.Contains(e % 64) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	fl := NewForThreads(32, 0.001, 0)
+	for v := uint64(0); v < 1000; v++ {
+		if fl.Contains(v) {
+			t.Fatalf("empty filter claims to contain %d", v)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	// Insert exactly the design capacity and measure the observed FP rate on
+	// fresh elements; it should be within ~4x of the target (bloom math is
+	// asymptotic, so allow slack).
+	const capacity = 32
+	const target = 0.01
+	fl := NewForThreads(capacity, target, 12345)
+	for v := uint64(0); v < capacity; v++ {
+		fl.Add(v)
+	}
+	fp := 0
+	const probes = 100000
+	for v := uint64(capacity); v < capacity+probes; v++ {
+		if fl.Contains(v) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 4*target {
+		t.Fatalf("observed FP rate %v exceeds 4x target %v", rate, target)
+	}
+}
+
+func TestAddReportsPresence(t *testing.T) {
+	fl := NewForThreads(32, 0.001, 9)
+	if fl.Add(7) {
+		t.Fatal("first Add reported element present")
+	}
+	if !fl.Add(7) {
+		t.Fatal("second Add did not report element present")
+	}
+}
+
+func TestReset(t *testing.T) {
+	fl := NewForThreads(32, 0.001, 3)
+	for v := uint64(0); v < 32; v++ {
+		fl.Add(v)
+	}
+	fl.Reset()
+	if fl.PopCount() != 0 {
+		t.Fatalf("PopCount after Reset = %d", fl.PopCount())
+	}
+	for v := uint64(0); v < 32; v++ {
+		if fl.Contains(v) {
+			t.Fatalf("element %d survived Reset", v)
+		}
+	}
+}
+
+func TestEstimateCardinality(t *testing.T) {
+	fl := NewForThreads(256, 0.01, 5)
+	const n = 100
+	for v := uint64(0); v < n; v++ {
+		fl.Add(v)
+	}
+	est := fl.EstimateCardinality()
+	if est < n*0.7 || est > n*1.3 {
+		t.Fatalf("cardinality estimate %v for %d inserted elements", est, n)
+	}
+}
+
+func TestConcurrentAddNoFalseNegatives(t *testing.T) {
+	fl := NewForThreads(1024, 0.01, 17)
+	var wg sync.WaitGroup
+	const workers = 8
+	const per = 128
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				fl.Add(uint64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for v := uint64(0); v < workers*per; v++ {
+		if !fl.Contains(v) {
+			t.Fatalf("lost element %d under concurrent insertion", v)
+		}
+	}
+}
+
+func TestSizeBytesMatchesGeometry(t *testing.T) {
+	p := Params{Bits: 512, Hashes: 4}
+	fl := New(p, 0)
+	if fl.SizeBytes() != 64 {
+		t.Fatalf("SizeBytes = %d, want 64", fl.SizeBytes())
+	}
+	if fl.Bits() != 512 || fl.Hashes() != 4 {
+		t.Fatalf("geometry accessors mismatch: %d/%d", fl.Bits(), fl.Hashes())
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	fl := NewForThreads(32, 0.001, 0)
+	for i := 0; i < b.N; i++ {
+		fl.Add(uint64(i) & 31)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	fl := NewForThreads(32, 0.001, 0)
+	for v := uint64(0); v < 32; v++ {
+		fl.Add(v)
+	}
+	for i := 0; i < b.N; i++ {
+		fl.Contains(uint64(i) & 63)
+	}
+}

@@ -1,0 +1,126 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SparseMatrix is the map-backed communication matrix of the paper's §VII
+// outlook ("use sparse matrices to reduce memory consumption even further").
+// A dense n×n matrix costs n² cells regardless of traffic; most patterns
+// (stencil halos, pipelines, reductions) touch O(n) pairs, so at high thread
+// counts the sparse form wins by orders of magnitude. The trade-off is a
+// mutex-guarded map instead of a lock-free array — slower per update.
+type SparseMatrix struct {
+	n  int
+	mu sync.Mutex
+	m  map[sparseKey]uint64
+}
+
+type sparseKey struct{ src, dst int32 }
+
+// NewSparse returns an empty sparse n×n matrix.
+func NewSparse(n int) *SparseMatrix {
+	if n <= 0 {
+		panic(fmt.Sprintf("comm: invalid matrix size %d", n))
+	}
+	return &SparseMatrix{n: n, m: map[sparseKey]uint64{}}
+}
+
+// N returns the matrix dimension.
+func (s *SparseMatrix) N() int { return s.n }
+
+// Add records bytes of communication from src to dst.
+func (s *SparseMatrix) Add(src, dst int32, bytes uint64) {
+	if src < 0 || int(src) >= s.n || dst < 0 || int(dst) >= s.n {
+		panic(fmt.Sprintf("comm: thread pair (%d,%d) out of range for %d threads", src, dst, s.n))
+	}
+	s.mu.Lock()
+	s.m[sparseKey{src, dst}] += bytes
+	s.mu.Unlock()
+}
+
+// At returns the bytes communicated from src to dst.
+func (s *SparseMatrix) At(src, dst int) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[sparseKey{int32(src), int32(dst)}]
+}
+
+// Total returns the sum of all cells.
+func (s *SparseMatrix) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t uint64
+	for _, v := range s.m {
+		t += v
+	}
+	return t
+}
+
+// NonZeroCells counts cells with any traffic.
+func (s *SparseMatrix) NonZeroCells() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Dense converts to the dense representation.
+func (s *SparseMatrix) Dense() *Matrix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := NewMatrix(s.n)
+	for k, v := range s.m {
+		out.Add(k.src, k.dst, v)
+	}
+	return out
+}
+
+// FromDense converts a dense matrix to sparse form.
+func FromDense(m *Matrix) *SparseMatrix {
+	out := NewSparse(m.N())
+	for src := 0; src < m.N(); src++ {
+		for dst := 0; dst < m.N(); dst++ {
+			if v := m.At(src, dst); v > 0 {
+				out.m[sparseKey{int32(src), int32(dst)}] = v
+			}
+		}
+	}
+	return out
+}
+
+// MemoryBytes estimates the heap held by the sparse representation: per-entry
+// key+value plus Go map bucket overhead (~48 bytes/entry amortised).
+func (s *SparseMatrix) MemoryBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(len(s.m)) * (8 + 8 + 48)
+}
+
+// DenseMemoryBytes is the dense equivalent's fixed cost for n threads:
+// n² 8-byte cells.
+func DenseMemoryBytes(n int) uint64 { return uint64(n) * uint64(n) * 8 }
+
+// Equal reports whether the sparse matrix holds exactly the dense matrix's
+// non-zero cells.
+func (s *SparseMatrix) Equal(m *Matrix) bool {
+	if m == nil || m.N() != s.n {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	count := 0
+	for src := 0; src < s.n; src++ {
+		for dst := 0; dst < s.n; dst++ {
+			v := m.At(src, dst)
+			sv := s.m[sparseKey{int32(src), int32(dst)}]
+			if v != sv {
+				return false
+			}
+			if sv > 0 {
+				count++
+			}
+		}
+	}
+	return count == len(s.m)
+}

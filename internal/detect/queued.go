@@ -1,0 +1,110 @@
+package detect
+
+import (
+	"sync"
+
+	"commprof/internal/trace"
+)
+
+// Queued reproduces the analysis architecture of the *original* DiscoPoP
+// profiler that the paper improves upon (§V-A2): program threads enqueue
+// memory accesses and a separate analyser drains the queue in order. The
+// paper's critique — "due to using queue for analyzing memory accesses
+// orderly, the queue size may increase dramatically if there is burst in
+// accessing memory in the program" — is observable here as PeakQueueLength:
+// whenever producers outpace the analyser, the queue (and so memory) grows
+// without bound, unlike the in-thread analysis whose footprint stays fixed.
+type Queued struct {
+	d *Detector
+
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	queue    []trace.Access
+	closed   bool
+
+	peak       int
+	perItemOps int // extra analyser work per event, simulating a slow consumer
+
+	done sync.WaitGroup
+}
+
+// queuedRecordBytes is the in-queue size of one access record.
+const queuedRecordBytes = 32
+
+// NewQueued wraps d with a queue and starts the analyser goroutine.
+// perItemOps adds artificial analyser work per event (0 = drain at full
+// speed); bursty producers overrun slower analysers, growing the queue.
+func NewQueued(d *Detector, perItemOps int) *Queued {
+	q := &Queued{d: d, perItemOps: perItemOps}
+	q.notEmpty = sync.NewCond(&q.mu)
+	q.done.Add(1)
+	go q.analyser()
+	return q
+}
+
+// Process enqueues one access for ordered background analysis. Safe for
+// concurrent use by producers.
+func (q *Queued) Process(a trace.Access) {
+	q.mu.Lock()
+	q.queue = append(q.queue, a)
+	if len(q.queue) > q.peak {
+		q.peak = len(q.queue)
+	}
+	q.mu.Unlock()
+	q.notEmpty.Signal()
+}
+
+// Probe adapts the queue to the executor hook.
+func (q *Queued) Probe() func(trace.Access) {
+	return func(a trace.Access) { q.Process(a) }
+}
+
+func (q *Queued) analyser() {
+	defer q.done.Done()
+	spin := uint64(1)
+	for {
+		q.mu.Lock()
+		for len(q.queue) == 0 && !q.closed {
+			q.notEmpty.Wait()
+		}
+		if len(q.queue) == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		a := q.queue[0]
+		q.queue = q.queue[1:]
+		q.mu.Unlock()
+
+		for i := 0; i < q.perItemOps; i++ {
+			spin ^= spin << 13
+			spin ^= spin >> 7
+			spin ^= spin << 17
+		}
+		q.d.Process(a)
+	}
+}
+
+// Close waits for the analyser to drain the queue and stop; call it before
+// reading results from the wrapped detector.
+func (q *Queued) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notEmpty.Broadcast()
+	q.done.Wait()
+}
+
+// PeakQueueLength reports the maximum number of accesses ever waiting.
+func (q *Queued) PeakQueueLength() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.peak
+}
+
+// PeakQueueBytes reports the memory the queue held at its peak.
+func (q *Queued) PeakQueueBytes() uint64 {
+	return uint64(q.PeakQueueLength()) * queuedRecordBytes
+}
+
+// Detector returns the wrapped detector (read results only after Close).
+func (q *Queued) Detector() *Detector { return q.d }

@@ -1,0 +1,107 @@
+package detect
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"commprof/internal/trace"
+)
+
+func genAccesses(n int, seed int64) []trace.Access {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]trace.Access, n)
+	for i := range out {
+		out[i] = trace.Access{
+			Time:   uint64(i),
+			Addr:   uint64(0x1000 + 8*rng.Intn(512)),
+			Size:   8,
+			Thread: int32(rng.Intn(8)),
+			Kind:   trace.Kind(rng.Intn(2)),
+			Region: trace.NoRegion,
+		}
+	}
+	return out
+}
+
+func TestQueuedMatchesInline(t *testing.T) {
+	stream := genAccesses(20000, 9)
+
+	inline := newDetector(t, 8, nil)
+	inline.ProcessStream(stream)
+
+	qd := newDetector(t, 8, nil)
+	q := NewQueued(qd, 0)
+	for _, a := range stream {
+		q.Process(a)
+	}
+	q.Close()
+
+	// Ordered background analysis must produce the identical matrix.
+	if !inline.Global().Equal(qd.Global()) {
+		t.Fatal("queued analysis diverged from inline")
+	}
+	if qd.Stats().Processed != uint64(len(stream)) {
+		t.Fatalf("processed %d of %d", qd.Stats().Processed, len(stream))
+	}
+	if q.Detector() != qd {
+		t.Fatal("Detector identity")
+	}
+}
+
+func TestQueueGrowsUnderBurst(t *testing.T) {
+	// The paper's §V-A2 critique of the original queue design: a producer
+	// burst against a slow analyser grows the queue (and memory) without
+	// bound. Feed a large burst with a heavily delayed analyser and check
+	// the peak is a significant fraction of the burst.
+	stream := genAccesses(20000, 10)
+	qd := newDetector(t, 8, nil)
+	q := NewQueued(qd, 2000) // slow analyser
+	for _, a := range stream {
+		q.Process(a)
+	}
+	peakDuring := q.PeakQueueLength()
+	q.Close()
+	if peakDuring < 1000 {
+		t.Fatalf("peak queue length %d; burst did not accumulate", peakDuring)
+	}
+	if q.PeakQueueBytes() != uint64(q.PeakQueueLength())*queuedRecordBytes {
+		t.Fatal("PeakQueueBytes inconsistent")
+	}
+	// Results still correct after drain.
+	if qd.Stats().Processed != uint64(len(stream)) {
+		t.Fatalf("processed %d", qd.Stats().Processed)
+	}
+}
+
+func TestQueuedFastAnalyserStaysSmall(t *testing.T) {
+	// With a full-speed analyser and a slow producer, the queue stays tiny
+	// relative to the stream: the burst problem is about rate mismatch.
+	stream := genAccesses(20000, 11)
+	qd := newDetector(t, 8, nil)
+	q := NewQueued(qd, 0)
+	for i, a := range stream {
+		q.Process(a)
+		if i%16 == 0 {
+			// A producer that yields (simulating real compute between
+			// accesses) gives the analyser scheduler time to drain — the
+			// explicit yield matters on single-CPU hosts.
+			runtime.Gosched()
+		}
+	}
+	q.Close()
+	if peak := q.PeakQueueLength(); peak > len(stream)/2 {
+		t.Fatalf("peak %d too large for a paced producer", peak)
+	}
+}
+
+func TestQueuedCloseIdempotentDrain(t *testing.T) {
+	qd := newDetector(t, 2, nil)
+	q := NewQueued(qd, 0)
+	q.Process(trace.Access{Time: 1, Addr: 8, Size: 8, Thread: 0, Kind: trace.Write, Region: trace.NoRegion})
+	q.Process(trace.Access{Time: 2, Addr: 8, Size: 8, Thread: 1, Kind: trace.Read, Region: trace.NoRegion})
+	q.Close()
+	if qd.Stats().Detected != 1 {
+		t.Fatalf("detected %d", qd.Stats().Detected)
+	}
+}

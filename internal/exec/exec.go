@@ -1,0 +1,288 @@
+// Package exec runs workloads on simulated shared-memory threads and fires
+// the instrumentation probe on every memory access.
+//
+// Two modes are provided:
+//
+//   - Deterministic (default): threads execute cooperatively under a strict
+//     round-robin scheduler with a configurable access quantum, so every run
+//     produces the identical temporal access order. This supplies Algorithm
+//     1's requirement that accesses be processed in temporal order, and makes
+//     all experiments reproducible.
+//
+//   - Parallel: threads run as free goroutines and the probe is invoked
+//     concurrently, exercising the lock-free signature memory exactly as the
+//     paper describes ("we use the same threads in the program ... without
+//     any need to any extra threads", §IV-D3).
+//
+// The engine substitutes for native pthread execution of the paper's testbed;
+// communication-matrix shape depends only on which threads touch which
+// addresses and in what order, which both modes preserve (the deterministic
+// mode fixes one valid interleaving).
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"commprof/internal/trace"
+)
+
+// Probe receives every instrumented access. In parallel mode it must be safe
+// for concurrent use.
+type Probe func(a trace.Access)
+
+// Options configures an Engine.
+type Options struct {
+	Threads  int   // number of simulated threads (>=1)
+	Quantum  int   // deterministic mode: accesses per scheduling turn; default 64
+	Parallel bool  // run threads as free goroutines instead of round-robin
+	Probe    Probe // may be nil (uninstrumented "native" run)
+}
+
+// Stats summarises an engine run.
+type Stats struct {
+	Accesses  uint64 // total instrumented accesses
+	Reads     uint64
+	Writes    uint64
+	WorkUnits uint64 // simulated computation units
+	Barriers  uint64 // barrier episodes completed
+	Clock     uint64 // final logical time
+}
+
+type threadState uint8
+
+const (
+	stRunnable threadState = iota
+	stBarrier
+	stLock
+	stDone
+)
+
+// Engine coordinates one run of a workload body across N threads.
+type Engine struct {
+	opts Options
+
+	clock atomic.Uint64
+
+	// Deterministic-mode scheduler state (owned by the scheduler goroutine
+	// between yields).
+	threads       []*Thread
+	yieldCh       chan int32
+	locks         map[int]int32 // lock id -> holding thread, absent/-1 when free
+	barrierEpochs uint64
+
+	// Parallel-mode state.
+	parMu      sync.Mutex
+	parLocks   map[int]*sync.Mutex
+	parBarrier *barrier
+
+	ran bool
+	err error
+}
+
+// New creates an engine. It panics on a non-positive thread count (a
+// configuration bug, not input error).
+func New(opts Options) *Engine {
+	if opts.Threads <= 0 {
+		panic(fmt.Sprintf("exec: invalid thread count %d", opts.Threads))
+	}
+	if opts.Quantum <= 0 {
+		opts.Quantum = 64
+	}
+	return &Engine{
+		opts:     opts,
+		yieldCh:  make(chan int32),
+		locks:    map[int]int32{},
+		parLocks: map[int]*sync.Mutex{},
+	}
+}
+
+// Threads returns the configured thread count.
+func (e *Engine) Threads() int { return e.opts.Threads }
+
+// Clock returns the current logical time.
+func (e *Engine) Clock() uint64 { return e.clock.Load() }
+
+// Run executes body once per thread and blocks until all threads finish.
+// An Engine is single-shot; a second Run returns an error.
+func (e *Engine) Run(body func(t *Thread)) (Stats, error) {
+	if e.ran {
+		return Stats{}, errors.New("exec: engine already ran")
+	}
+	e.ran = true
+	if e.opts.Parallel {
+		return e.runParallel(body)
+	}
+	return e.runDeterministic(body)
+}
+
+func (e *Engine) runDeterministic(body func(t *Thread)) (Stats, error) {
+	n := e.opts.Threads
+	e.threads = make([]*Thread, n)
+	for i := 0; i < n; i++ {
+		e.threads[i] = &Thread{
+			id:     int32(i),
+			eng:    e,
+			resume: make(chan struct{}),
+		}
+	}
+	for _, t := range e.threads {
+		go t.main(body)
+	}
+
+	live := n
+	for live > 0 {
+		progressed := false
+		for _, t := range e.threads {
+			if t.state == stLock {
+				if holder, held := e.locks[t.waitLock]; !held || holder == -1 {
+					t.state = stRunnable
+				}
+			}
+			if t.state != stRunnable {
+				continue
+			}
+			progressed = true
+			t.budget = e.opts.Quantum
+			t.resume <- struct{}{}
+			<-e.yieldCh
+			if t.state == stDone {
+				live--
+			}
+		}
+		// Barrier release: every live thread parked at the barrier.
+		if live > 0 {
+			waiting := 0
+			for _, t := range e.threads {
+				if t.state == stBarrier {
+					waiting++
+				}
+			}
+			if waiting == live {
+				for _, t := range e.threads {
+					if t.state == stBarrier {
+						t.state = stRunnable
+					}
+				}
+				e.barrierEpochs++
+				progressed = true
+			}
+		}
+		if !progressed && live > 0 {
+			e.failStuckThreads(live)
+			return e.collectStats(), fmt.Errorf("exec: deadlock with %d live threads (mixed barrier/lock wait)", live)
+		}
+	}
+	return e.collectStats(), e.err
+}
+
+// failStuckThreads unblocks deadlocked goroutines so they exit; the engine is
+// unusable afterwards but does not leak goroutines.
+func (e *Engine) failStuckThreads(live int) {
+	for _, t := range e.threads {
+		if t.state != stDone {
+			t.aborted = true
+			t.state = stRunnable
+			t.budget = 1 << 30
+			t.resume <- struct{}{}
+			<-e.yieldCh
+		}
+	}
+}
+
+func (e *Engine) collectStats() Stats {
+	var s Stats
+	for _, t := range e.threads {
+		s.Accesses += t.accesses
+		s.Reads += t.reads
+		s.Writes += t.writes
+		s.WorkUnits += t.work
+	}
+	s.Barriers = e.barrierEpochs
+	s.Clock = e.clock.Load()
+	return s
+}
+
+func (e *Engine) runParallel(body func(t *Thread)) (Stats, error) {
+	n := e.opts.Threads
+	e.parBarrier = newBarrier(n)
+	e.threads = make([]*Thread, n)
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	for i := 0; i < n; i++ {
+		t := &Thread{id: int32(i), eng: e, parallel: true}
+		e.threads[i] = t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { e.err = fmt.Errorf("exec: thread %d panicked: %v", t.id, r) })
+					// Unblock peers that might wait at a barrier forever.
+					e.parBarrier.abort()
+				}
+			}()
+			body(t)
+		}()
+	}
+	wg.Wait()
+	var s Stats
+	for _, t := range e.threads {
+		s.Accesses += t.accesses
+		s.Reads += t.reads
+		s.Writes += t.writes
+		s.WorkUnits += t.work
+	}
+	s.Barriers = e.parBarrier.epochs.Load()
+	s.Clock = e.clock.Load()
+	return s, e.err
+}
+
+// barrier is a reusable counting barrier for parallel mode.
+type barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	epoch  uint64
+	broken bool
+	epochs atomic.Uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		panic("exec: barrier broken by peer panic")
+	}
+	epoch := b.epoch
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.epoch++
+		b.epochs.Add(1)
+		b.cond.Broadcast()
+		return
+	}
+	for b.epoch == epoch && !b.broken {
+		b.cond.Wait()
+	}
+	if b.broken {
+		panic("exec: barrier broken by peer panic")
+	}
+}
+
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,70 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBinOpCodesRoundTrip(t *testing.T) {
+	for _, op := range []string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"} {
+		code, err := BinOpCode(op)
+		if err != nil {
+			t.Fatalf("BinOpCode(%s): %v", op, err)
+		}
+		if got := BinOpName(code); got != op {
+			t.Fatalf("round trip %s -> %d -> %s", op, code, got)
+		}
+	}
+	if _, err := BinOpCode("**"); err == nil {
+		t.Error("unknown operator accepted")
+	}
+	if BinOpName(99) == "+" {
+		t.Error("out-of-range code mapped to an operator")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := map[string]Instr{
+		"push 7":           {Op: OpPush, A: 7},
+		"bin +":            {Op: OpBin, A: BinAdd},
+		"barrier":          {Op: OpBarrier},
+		"loadarr 2":        {Op: OpLoadArr, A: 2},
+		"loadarr 2 !probe": {Op: OpLoadArr, A: 2, Probed: true},
+		"tid":              {Op: OpTid},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%#v renders %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestOpNamesComplete(t *testing.T) {
+	for op := OpPush; op <= OpUnlock; op++ {
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+	if !strings.HasPrefix(Op(99).String(), "op(") {
+		t.Error("unknown opcode must render as op(n)")
+	}
+}
+
+func TestModuleHelpers(t *testing.T) {
+	m := &Module{
+		Arrays: []Array{{Name: "A", Size: 8}},
+		Funcs: []Func{
+			{Name: "main", Code: []Instr{{Op: OpRet}}},
+			{Name: "f", NumParams: 2, Code: []Instr{{Op: OpRet}}},
+		},
+	}
+	if m.FindFunc("f") != 1 || m.FindFunc("zzz") != -1 {
+		t.Error("FindFunc wrong")
+	}
+	dis := m.Disassemble()
+	for _, want := range []string{"array A[8]", "func main", "func f (params=2", "ret"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}

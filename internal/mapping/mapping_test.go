@@ -1,0 +1,119 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"commprof/internal/comm"
+)
+
+func matrixOf(t *testing.T, rows [][]uint64) *comm.Matrix {
+	t.Helper()
+	m, err := comm.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTopologyValidation(t *testing.T) {
+	m := comm.NewMatrix(8)
+	if _, err := Greedy(m, Topology{Sockets: 0, CoresPerSocket: 4}); err == nil {
+		t.Error("zero sockets accepted")
+	}
+	if _, err := Greedy(m, Topology{Sockets: 1, CoresPerSocket: 4}); err == nil {
+		t.Error("8 threads on 4 cores accepted")
+	}
+	if got := (Topology{Sockets: 2, CoresPerSocket: 4}).Cores(); got != 8 {
+		t.Errorf("Cores = %d", got)
+	}
+}
+
+func TestGreedyGroupsHeavyPairs(t *testing.T) {
+	// Threads (0,2) and (1,3) communicate heavily; the identity mapping on
+	// 2-core sockets splits both pairs, greedy must join them.
+	m := matrixOf(t, [][]uint64{
+		{0, 0, 100, 0},
+		{0, 0, 0, 100},
+		{100, 0, 0, 0},
+		{0, 100, 0, 0},
+	})
+	topo := Topology{Sockets: 2, CoresPerSocket: 2}
+	res, err := Greedy(m, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IdentityShare != 0 {
+		t.Fatalf("identity share = %v, want 0", res.IdentityShare)
+	}
+	if res.LocalShare != 1 {
+		t.Fatalf("greedy share = %v, want 1 (cores: %v)", res.LocalShare, res.Core)
+	}
+	// Pairs share sockets.
+	if res.Core[0]/2 != res.Core[2]/2 || res.Core[1]/2 != res.Core[3]/2 {
+		t.Fatalf("pairs split: %v", res.Core)
+	}
+}
+
+func TestGreedyNeverWorseThanIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 8
+		m := comm.NewMatrix(n)
+		for k := 0; k < 20; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				m.Add(int32(a), int32(b), uint64(rng.Intn(1000)+1))
+			}
+		}
+		res, err := Greedy(m, Topology{Sockets: 2, CoresPerSocket: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LocalShare < res.IdentityShare {
+			t.Fatalf("trial %d: greedy (%v) below identity (%v)", trial, res.LocalShare, res.IdentityShare)
+		}
+	}
+}
+
+func TestGreedyAssignmentIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := comm.NewMatrix(12)
+	for k := 0; k < 40; k++ {
+		a, b := rng.Intn(12), rng.Intn(12)
+		if a != b {
+			m.Add(int32(a), int32(b), uint64(rng.Intn(100)+1))
+		}
+	}
+	res, err := Greedy(m, Topology{Sockets: 3, CoresPerSocket: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range res.Core {
+		if c < 0 || c >= 12 || seen[c] {
+			t.Fatalf("invalid assignment %v", res.Core)
+		}
+		seen[c] = true
+	}
+}
+
+func TestLocalShareZeroMatrix(t *testing.T) {
+	m := comm.NewMatrix(4)
+	if got := LocalShare(m, []int{0, 1, 2, 3}, Topology{Sockets: 2, CoresPerSocket: 2}); got != 0 {
+		t.Fatalf("zero-traffic share = %v", got)
+	}
+}
+
+func TestSingleCoreSockets(t *testing.T) {
+	// Degenerate 1-core sockets: nothing can be local except self-traffic,
+	// and the mapping must still be a valid permutation.
+	m := matrixOf(t, [][]uint64{{0, 5}, {5, 0}})
+	res, err := Greedy(m, Topology{Sockets: 2, CoresPerSocket: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Core[0] == res.Core[1] {
+		t.Fatalf("two threads on one core: %v", res.Core)
+	}
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"commprof/internal/comm"
+	"commprof/internal/detect"
+)
+
+// Phase is one interval of stable communication behaviour.
+type Phase struct {
+	Start, End uint64 // logical-time interval [Start, End)
+	Matrix     *comm.Matrix
+	Windows    int // number of sample windows merged into the phase
+}
+
+// PhaseSegmenter consumes the detector's event stream, builds a communication
+// matrix per fixed logical-time window, and merges adjacent windows whose
+// matrices are similar. Applications that "transition into different phases
+// of computation at runtime" (§V-A4) show up as a sequence of phases with
+// distinct matrices, which is what lets the profiler notify an optimizer of
+// behaviour changes instead of reporting one static whole-program pattern.
+//
+// Feed events via Observe (usable as a detect Options.OnEvent callback in
+// deterministic runs) and call Finish once.
+type PhaseSegmenter struct {
+	threads    int
+	windowSize uint64
+	threshold  float64 // cosine-similarity merge threshold
+
+	windows []window
+	current *window
+}
+
+type window struct {
+	start  uint64
+	matrix *comm.Matrix
+}
+
+// NewPhaseSegmenter creates a segmenter with the given window length in
+// logical-time units and a merge threshold in (0,1]; adjacent windows with
+// cosine similarity >= threshold join the same phase.
+func NewPhaseSegmenter(threads int, windowSize uint64, threshold float64) (*PhaseSegmenter, error) {
+	if threads <= 0 {
+		return nil, fmt.Errorf("metrics: threads must be positive")
+	}
+	if windowSize == 0 {
+		return nil, fmt.Errorf("metrics: window size must be positive")
+	}
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("metrics: threshold must be in (0,1], got %v", threshold)
+	}
+	return &PhaseSegmenter{threads: threads, windowSize: windowSize, threshold: threshold}, nil
+}
+
+// Observe records one communication event. Events must arrive in
+// non-decreasing time order (deterministic-mode detection guarantees this).
+func (p *PhaseSegmenter) Observe(ev detect.Event) {
+	wstart := ev.Time / p.windowSize * p.windowSize
+	if p.current == nil || p.current.start != wstart {
+		p.flush()
+		p.current = &window{start: wstart, matrix: comm.NewMatrix(p.threads)}
+	}
+	p.current.matrix.Add(ev.Writer, ev.Reader, uint64(ev.Bytes))
+}
+
+func (p *PhaseSegmenter) flush() {
+	if p.current != nil {
+		p.windows = append(p.windows, *p.current)
+		p.current = nil
+	}
+}
+
+// Finish merges windows into phases and returns them in time order.
+func (p *PhaseSegmenter) Finish() []Phase {
+	p.flush()
+	var phases []Phase
+	for _, w := range p.windows {
+		if len(phases) > 0 {
+			last := &phases[len(phases)-1]
+			if CosineSimilarity(last.Matrix, w.matrix) >= p.threshold {
+				last.Matrix.AddMatrix(w.matrix)
+				last.End = w.start + p.windowSize
+				last.Windows++
+				continue
+			}
+		}
+		phases = append(phases, Phase{
+			Start:   w.start,
+			End:     w.start + p.windowSize,
+			Matrix:  w.matrix.Clone(),
+			Windows: 1,
+		})
+	}
+	return phases
+}
+
+// CosineSimilarity compares two matrices as flattened vectors, in [0,1] for
+// non-negative matrices. Two all-zero matrices are defined as similar (1);
+// one zero and one non-zero matrix are dissimilar (0).
+func CosineSimilarity(a, b *comm.Matrix) float64 {
+	if a.N() != b.N() {
+		panic(fmt.Sprintf("metrics: dimension mismatch %d vs %d", a.N(), b.N()))
+	}
+	var dot, na, nb float64
+	n := a.N()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			av, bv := float64(a.At(s, d)), float64(b.At(s, d))
+			dot += av * bv
+			na += av * av
+			nb += bv * bv
+		}
+	}
+	if na == 0 && nb == 0 {
+		return 1
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}

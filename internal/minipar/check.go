@@ -1,0 +1,136 @@
+package minipar
+
+import "fmt"
+
+// checkProgram performs semantic validation: main exists and takes no
+// parameters, array/function references resolve, arities match, and array
+// names do not collide.
+func checkProgram(p *Program) error {
+	arrays := map[string]bool{}
+	for _, a := range p.Arrays {
+		if arrays[a.Name] {
+			return fmt.Errorf("minipar: line %d: duplicate array %q", a.Line, a.Name)
+		}
+		arrays[a.Name] = true
+	}
+	funcs := map[string]*FuncDecl{}
+	for i := range p.Funcs {
+		f := &p.Funcs[i]
+		if funcs[f.Name] != nil {
+			return fmt.Errorf("minipar: line %d: duplicate function %q", f.Line, f.Name)
+		}
+		funcs[f.Name] = f
+	}
+	main, ok := funcs["main"]
+	if !ok {
+		return fmt.Errorf("minipar: program has no main function")
+	}
+	if len(main.Params) != 0 {
+		return fmt.Errorf("minipar: main must take no parameters")
+	}
+	c := &checker{arrays: arrays, funcs: funcs}
+	for i := range p.Funcs {
+		if err := c.stmts(p.Funcs[i].Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	arrays map[string]bool
+	funcs  map[string]*FuncDecl
+}
+
+func (c *checker) stmts(ss []Stmt) error {
+	for _, s := range ss {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *AssignStmt:
+		return c.expr(st.Expr, st.Line)
+	case *StoreStmt:
+		if !c.arrays[st.Array] {
+			return fmt.Errorf("minipar: line %d: store to undeclared array %q", st.Line, st.Array)
+		}
+		if err := c.expr(st.Index, st.Line); err != nil {
+			return err
+		}
+		return c.expr(st.Expr, st.Line)
+	case *ForStmt:
+		if err := c.expr(st.From, st.Line); err != nil {
+			return err
+		}
+		if err := c.expr(st.To, st.Line); err != nil {
+			return err
+		}
+		return c.stmts(st.Body)
+	case *WhileStmt:
+		if err := c.expr(st.Cond, st.Line); err != nil {
+			return err
+		}
+		return c.stmts(st.Body)
+	case *IfStmt:
+		if err := c.expr(st.Cond, st.Line); err != nil {
+			return err
+		}
+		if err := c.stmts(st.Then); err != nil {
+			return err
+		}
+		return c.stmts(st.Else)
+	case *BarrierStmt:
+		return nil
+	case *WorkStmt:
+		return c.expr(st.Units, st.Line)
+	case *OutStmt:
+		return c.expr(st.Expr, st.Line)
+	case *CallStmt:
+		f, ok := c.funcs[st.Name]
+		if !ok {
+			return fmt.Errorf("minipar: line %d: call to undeclared function %q", st.Line, st.Name)
+		}
+		if len(st.Args) != len(f.Params) {
+			return fmt.Errorf("minipar: line %d: %s takes %d arguments, got %d", st.Line, st.Name, len(f.Params), len(st.Args))
+		}
+		for _, a := range st.Args {
+			if err := c.expr(a, st.Line); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *LockStmt:
+		if err := c.expr(st.ID, st.Line); err != nil {
+			return err
+		}
+		return c.stmts(st.Body)
+	default:
+		return fmt.Errorf("minipar: unknown statement %T", s)
+	}
+}
+
+func (c *checker) expr(e Expr, line int) error {
+	switch ex := e.(type) {
+	case *IntLit, *VarRef, *TidRef, *NThreadsRef:
+		return nil
+	case *IndexExpr:
+		if !c.arrays[ex.Array] {
+			return fmt.Errorf("minipar: line %d: read of undeclared array %q", line, ex.Array)
+		}
+		return c.expr(ex.Index, line)
+	case *BinExpr:
+		if err := c.expr(ex.L, line); err != nil {
+			return err
+		}
+		return c.expr(ex.R, line)
+	case *UnaryExpr:
+		return c.expr(ex.X, line)
+	default:
+		return fmt.Errorf("minipar: line %d: unknown expression %T", line, e)
+	}
+}

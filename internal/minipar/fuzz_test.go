@@ -1,0 +1,51 @@
+package minipar
+
+import "testing"
+
+// FuzzParse checks that arbitrary input never panics the front end: it must
+// either parse cleanly or return an error. Run with `go test -fuzz=FuzzParse`
+// for a real campaign; `go test` exercises the seed corpus.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		sampleSrc,
+		`func main() {}`,
+		`array A[1]; func main() { A[0] = tid; }`,
+		`func main() { parfor i = 0..10 { work i; } }`,
+		`func main() { if 1 { } else { } }`,
+		`func main() { lock 0 { } }`,
+		`func main() { while 0 { } }`,
+		`func main() { x = ((1+2)*3)/4 % 5; out x; }`,
+		`// only a comment`,
+		``,
+		`array`,
+		`func main( { }`,
+		"func main() { x = 1 }\x00",
+		`func main() { x = -----1; }`,
+		`func main() { out 9223372036854775807; }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("nil program without error")
+		}
+	})
+}
+
+// FuzzLex checks the tokenizer in isolation.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{"a b c", "0..1", "== = ===", "//", "\t\n\r ", "_x9"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatal("token stream must end with EOF")
+		}
+	})
+}

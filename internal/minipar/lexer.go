@@ -1,0 +1,151 @@
+package minipar
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Lex tokenizes MiniPar source. Comments run from "//" to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	emit := func(kind TokKind, text string, l, c int) {
+		toks = append(toks, Token{Kind: kind, Text: text, Line: l, Col: c})
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c >= '0' && c <= '9':
+			l, cl := line, col
+			j := i
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			v, err := strconv.ParseInt(src[i:j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("minipar: %d:%d: bad integer %q: %w", l, cl, src[i:j], err)
+			}
+			toks = append(toks, Token{Kind: TokInt, Int: v, Line: l, Col: cl})
+			advance(j - i)
+		case isIdentStart(c):
+			l, cl := line, col
+			j := i
+			for j < n && isIdentPart(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			if kw, ok := keywords[word]; ok {
+				emit(kw, word, l, cl)
+			} else {
+				emit(TokIdent, word, l, cl)
+			}
+			advance(j - i)
+		default:
+			l, cl := line, col
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "..":
+				emit(TokDotDot, two, l, cl)
+				advance(2)
+				continue
+			case "==":
+				emit(TokEq, two, l, cl)
+				advance(2)
+				continue
+			case "!=":
+				emit(TokNe, two, l, cl)
+				advance(2)
+				continue
+			case "<=":
+				emit(TokLe, two, l, cl)
+				advance(2)
+				continue
+			case ">=":
+				emit(TokGe, two, l, cl)
+				advance(2)
+				continue
+			case "&&":
+				emit(TokAndAnd, two, l, cl)
+				advance(2)
+				continue
+			case "||":
+				emit(TokOrOr, two, l, cl)
+				advance(2)
+				continue
+			}
+			var kind TokKind
+			switch c {
+			case '{':
+				kind = TokLBrace
+			case '}':
+				kind = TokRBrace
+			case '(':
+				kind = TokLParen
+			case ')':
+				kind = TokRParen
+			case '[':
+				kind = TokLBracket
+			case ']':
+				kind = TokRBracket
+			case ';':
+				kind = TokSemi
+			case ',':
+				kind = TokComma
+			case '=':
+				kind = TokAssign
+			case '+':
+				kind = TokPlus
+			case '-':
+				kind = TokMinus
+			case '*':
+				kind = TokStar
+			case '/':
+				kind = TokSlash
+			case '%':
+				kind = TokPercent
+			case '<':
+				kind = TokLt
+			case '>':
+				kind = TokGt
+			case '!':
+				kind = TokNot
+			default:
+				return nil, fmt.Errorf("minipar: %d:%d: unexpected character %q", l, cl, string(c))
+			}
+			emit(kind, string(c), l, cl)
+			advance(1)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,476 @@
+package minipar
+
+import "fmt"
+
+// Parse lexes and parses MiniPar source into an AST.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkProgram(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, fmt.Errorf("minipar: %s: expected %s, found %s", p.cur().Pos(), k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != TokEOF {
+		switch p.cur().Kind {
+		case TokArray:
+			d, err := p.arrayDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Arrays = append(prog.Arrays, d)
+		case TokFunc:
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, fmt.Errorf("minipar: %s: expected array or func declaration, found %s", p.cur().Pos(), p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) arrayDecl() (ArrayDecl, error) {
+	kw := p.next() // array
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return ArrayDecl{}, err
+	}
+	if _, err := p.expect(TokLBracket); err != nil {
+		return ArrayDecl{}, err
+	}
+	size, err := p.expect(TokInt)
+	if err != nil {
+		return ArrayDecl{}, err
+	}
+	if _, err := p.expect(TokRBracket); err != nil {
+		return ArrayDecl{}, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return ArrayDecl{}, err
+	}
+	if size.Int <= 0 {
+		return ArrayDecl{}, fmt.Errorf("minipar: %s: array %s has non-positive size %d", kw.Pos(), name.Text, size.Int)
+	}
+	return ArrayDecl{Name: name.Text, Size: size.Int, Line: kw.Line}, nil
+}
+
+func (p *parser) funcDecl() (FuncDecl, error) {
+	kw := p.next() // func
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return FuncDecl{}, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return FuncDecl{}, err
+	}
+	var params []string
+	if p.cur().Kind != TokRParen {
+		for {
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return FuncDecl{}, err
+			}
+			params = append(params, id.Text)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return FuncDecl{}, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return FuncDecl{}, err
+	}
+	return FuncDecl{Name: name.Text, Params: params, Body: body, Line: kw.Line, RegionID: -1}, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			return nil, fmt.Errorf("minipar: %s: unterminated block", p.cur().Pos())
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.next() // }
+	return out, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokFor, TokParfor:
+		return p.forStmt()
+	case TokWhile:
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.Line, RegionID: -1}, nil
+	case TokIf:
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept(TokElse) {
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Line: t.Line}, nil
+	case TokBarrier:
+		p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BarrierStmt{Line: t.Line}, nil
+	case TokWork:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &WorkStmt{Units: e, Line: t.Line}, nil
+	case TokOut:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &OutStmt{Expr: e, Line: t.Line}, nil
+	case TokCall:
+		p.next()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		if p.cur().Kind != TokRParen {
+			for {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &CallStmt{Name: name.Text, Args: args, Line: t.Line}, nil
+	case TokLock:
+		p.next()
+		id, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &LockStmt{ID: id, Body: body, Line: t.Line}, nil
+	case TokIdent:
+		name := p.next()
+		if p.accept(TokLBracket) {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokAssign); err != nil {
+				return nil, err
+			}
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			return &StoreStmt{Array: name.Text, Index: idx, Expr: val, Line: t.Line}, nil
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name.Text, Expr: val, Line: t.Line}, nil
+	default:
+		return nil, fmt.Errorf("minipar: %s: unexpected %s at statement start", t.Pos(), t)
+	}
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	kw := p.next() // for | parfor
+	v, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	from, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokDotDot); err != nil {
+		return nil, err
+	}
+	to, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{
+		Var: v.Text, From: from, To: to, Body: body,
+		Parallel: kw.Kind == TokParfor, Line: kw.Line, RegionID: -1,
+	}, nil
+}
+
+// Expression parsing: precedence climbing via the grammar's layers.
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokOrOr {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokAndAnd {
+		p.next()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[TokKind]string{
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.cur().Kind]; ok {
+		p.next()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case TokPlus:
+			op = "+"
+		case TokMinus:
+			op = "-"
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case TokStar:
+			op = "*"
+		case TokSlash:
+			op = "/"
+		case TokPercent:
+			op = "%"
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokMinus:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	case TokNot:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "!", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.next()
+		return &IntLit{Value: t.Int}, nil
+	case TokTid:
+		p.next()
+		return &TidRef{}, nil
+	case TokNThreads:
+		p.next()
+		return &NThreadsRef{}, nil
+	case TokIdent:
+		p.next()
+		if p.accept(TokLBracket) {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Array: t.Text, Index: idx}, nil
+		}
+		return &VarRef{Name: t.Text}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("minipar: %s: unexpected %s in expression", t.Pos(), t)
+	}
+}

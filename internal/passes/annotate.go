@@ -1,0 +1,70 @@
+// Package passes implements the compile-time half of the profiler pipeline
+// for MiniPar programs: static loop annotation (the equivalent of the
+// paper's Listing 1, which attaches a unique loop ID to every loop header as
+// LLVM metadata), AST constant folding, lowering to the stack-machine IR,
+// the instrumentation pass that marks shared-memory accesses with probes,
+// and an IR verifier.
+package passes
+
+import (
+	"fmt"
+
+	"commprof/internal/minipar"
+	"commprof/internal/trace"
+)
+
+// Annotate assigns a static region to every function and loop of the
+// program, mutating the AST's RegionID fields, and returns the region table
+// the profiler attributes communication to. This is the MiniPar rendition of
+// Listing 1: each loop header gets a fresh UID; nested loops record their
+// parent through the table's tree structure.
+func Annotate(p *minipar.Program) (*trace.Table, error) {
+	table := trace.NewTable()
+	for i := range p.Funcs {
+		f := &p.Funcs[i]
+		f.RegionID = table.AddFunc(f.Name, trace.NoRegion)
+		counter := 0
+		if err := annotateStmts(table, f.Body, f.RegionID, f.Name, &counter); err != nil {
+			return nil, err
+		}
+	}
+	if err := table.Validate(); err != nil {
+		return nil, fmt.Errorf("passes: annotation produced invalid table: %w", err)
+	}
+	return table, nil
+}
+
+func annotateStmts(table *trace.Table, ss []minipar.Stmt, parent int32, fname string, counter *int) error {
+	for _, s := range ss {
+		switch st := s.(type) {
+		case *minipar.ForStmt:
+			kind := "for"
+			if st.Parallel {
+				kind = "parfor"
+			}
+			st.RegionID = table.AddLoop(fmt.Sprintf("%s#%s%d", fname, kind, *counter), parent)
+			*counter++
+			if err := annotateStmts(table, st.Body, st.RegionID, fname, counter); err != nil {
+				return err
+			}
+		case *minipar.WhileStmt:
+			st.RegionID = table.AddLoop(fmt.Sprintf("%s#while%d", fname, *counter), parent)
+			*counter++
+			if err := annotateStmts(table, st.Body, st.RegionID, fname, counter); err != nil {
+				return err
+			}
+		case *minipar.IfStmt:
+			if err := annotateStmts(table, st.Then, parent, fname, counter); err != nil {
+				return err
+			}
+			if err := annotateStmts(table, st.Else, parent, fname, counter); err != nil {
+				return err
+			}
+		case *minipar.LockStmt:
+			if err := annotateStmts(table, st.Body, parent, fname, counter); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

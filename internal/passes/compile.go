@@ -1,0 +1,32 @@
+package passes
+
+import (
+	"commprof/internal/ir"
+	"commprof/internal/minipar"
+	"commprof/internal/trace"
+)
+
+// Compile runs the full static pipeline on MiniPar source: parse, loop
+// annotation, constant folding, lowering, instrumentation (of the functions
+// in only, or the whole program when only is nil), and verification. It
+// returns the executable module and the static region table.
+func Compile(src string, only map[string]bool) (*ir.Module, *trace.Table, error) {
+	prog, err := minipar.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	table, err := Annotate(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	FoldConstants(prog)
+	mod, err := Lower(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	Instrument(mod, only)
+	if err := Verify(mod); err != nil {
+		return nil, nil, err
+	}
+	return mod, table, nil
+}

@@ -1,0 +1,121 @@
+package passes
+
+import "commprof/internal/minipar"
+
+// FoldConstants rewrites constant subexpressions of the AST in place:
+// binary and unary operations whose operands are integer literals become
+// literals. Division and modulo by a constant zero are left unfolded so the
+// error surfaces at runtime with its source position, matching the
+// interpreter's behaviour for dynamic zero divisors.
+func FoldConstants(p *minipar.Program) {
+	for i := range p.Funcs {
+		foldStmts(p.Funcs[i].Body)
+	}
+}
+
+func foldStmts(ss []minipar.Stmt) {
+	for _, s := range ss {
+		switch st := s.(type) {
+		case *minipar.AssignStmt:
+			st.Expr = foldExpr(st.Expr)
+		case *minipar.StoreStmt:
+			st.Index = foldExpr(st.Index)
+			st.Expr = foldExpr(st.Expr)
+		case *minipar.ForStmt:
+			st.From = foldExpr(st.From)
+			st.To = foldExpr(st.To)
+			foldStmts(st.Body)
+		case *minipar.WhileStmt:
+			st.Cond = foldExpr(st.Cond)
+			foldStmts(st.Body)
+		case *minipar.IfStmt:
+			st.Cond = foldExpr(st.Cond)
+			foldStmts(st.Then)
+			foldStmts(st.Else)
+		case *minipar.WorkStmt:
+			st.Units = foldExpr(st.Units)
+		case *minipar.OutStmt:
+			st.Expr = foldExpr(st.Expr)
+		case *minipar.CallStmt:
+			for i := range st.Args {
+				st.Args[i] = foldExpr(st.Args[i])
+			}
+		case *minipar.LockStmt:
+			st.ID = foldExpr(st.ID)
+			foldStmts(st.Body)
+		}
+	}
+}
+
+func foldExpr(e minipar.Expr) minipar.Expr {
+	switch ex := e.(type) {
+	case *minipar.IndexExpr:
+		ex.Index = foldExpr(ex.Index)
+		return ex
+	case *minipar.UnaryExpr:
+		ex.X = foldExpr(ex.X)
+		if lit, ok := ex.X.(*minipar.IntLit); ok {
+			switch ex.Op {
+			case "-":
+				return &minipar.IntLit{Value: -lit.Value}
+			case "!":
+				if lit.Value == 0 {
+					return &minipar.IntLit{Value: 1}
+				}
+				return &minipar.IntLit{Value: 0}
+			}
+		}
+		return ex
+	case *minipar.BinExpr:
+		ex.L = foldExpr(ex.L)
+		ex.R = foldExpr(ex.R)
+		l, lok := ex.L.(*minipar.IntLit)
+		r, rok := ex.R.(*minipar.IntLit)
+		if !lok || !rok {
+			return ex
+		}
+		b := func(v bool) *minipar.IntLit {
+			if v {
+				return &minipar.IntLit{Value: 1}
+			}
+			return &minipar.IntLit{Value: 0}
+		}
+		switch ex.Op {
+		case "+":
+			return &minipar.IntLit{Value: l.Value + r.Value}
+		case "-":
+			return &minipar.IntLit{Value: l.Value - r.Value}
+		case "*":
+			return &minipar.IntLit{Value: l.Value * r.Value}
+		case "/":
+			if r.Value == 0 {
+				return ex
+			}
+			return &minipar.IntLit{Value: l.Value / r.Value}
+		case "%":
+			if r.Value == 0 {
+				return ex
+			}
+			return &minipar.IntLit{Value: l.Value % r.Value}
+		case "==":
+			return b(l.Value == r.Value)
+		case "!=":
+			return b(l.Value != r.Value)
+		case "<":
+			return b(l.Value < r.Value)
+		case "<=":
+			return b(l.Value <= r.Value)
+		case ">":
+			return b(l.Value > r.Value)
+		case ">=":
+			return b(l.Value >= r.Value)
+		case "&&":
+			return b(l.Value != 0 && r.Value != 0)
+		case "||":
+			return b(l.Value != 0 || r.Value != 0)
+		}
+		return ex
+	default:
+		return e
+	}
+}

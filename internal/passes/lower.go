@@ -1,0 +1,332 @@
+package passes
+
+import (
+	"fmt"
+
+	"commprof/internal/ir"
+	"commprof/internal/minipar"
+)
+
+// Lower compiles an annotated AST (after Annotate) to the stack-machine IR.
+// Loads and stores of shared arrays become OpLoadArr/OpStoreArr without
+// probes; the Instrument pass selects which of them reach the profiler.
+func Lower(p *minipar.Program) (*ir.Module, error) {
+	m := &ir.Module{LockBase: 1 << 16}
+	for _, a := range p.Arrays {
+		m.Arrays = append(m.Arrays, ir.Array{Name: a.Name, Size: a.Size})
+	}
+	// Function indices must be known before lowering bodies (forward calls).
+	for _, f := range p.Funcs {
+		m.Funcs = append(m.Funcs, ir.Func{Name: f.Name, NumParams: len(f.Params), RegionID: f.RegionID})
+	}
+	for i := range p.Funcs {
+		l := &lowerer{prog: p, mod: m, slots: map[string]int{}}
+		if err := l.fn(&p.Funcs[i], &m.Funcs[i]); err != nil {
+			return nil, err
+		}
+	}
+	m.MainIndex = m.FindFunc("main")
+	if m.MainIndex < 0 {
+		return nil, fmt.Errorf("passes: no main function")
+	}
+	return m, nil
+}
+
+type lowerer struct {
+	prog  *minipar.Program
+	mod   *ir.Module
+	code  []ir.Instr
+	slots map[string]int
+	next  int
+	temps int
+}
+
+func (l *lowerer) emit(op ir.Op, a int64, line int) int {
+	l.code = append(l.code, ir.Instr{Op: op, A: a, Line: line})
+	return len(l.code) - 1
+}
+
+// slot returns the local slot of name, allocating one if needed.
+func (l *lowerer) slot(name string) int {
+	if s, ok := l.slots[name]; ok {
+		return s
+	}
+	s := l.next
+	l.slots[name] = s
+	l.next++
+	return s
+}
+
+// temp allocates an anonymous local slot.
+func (l *lowerer) temp() int {
+	l.temps++
+	s := l.next
+	l.next++
+	return s
+}
+
+func (l *lowerer) fn(f *minipar.FuncDecl, out *ir.Func) error {
+	if f.RegionID < 0 {
+		return fmt.Errorf("passes: function %s not annotated; run Annotate first", f.Name)
+	}
+	l.emit(ir.OpRegionEnter, int64(f.RegionID), f.Line)
+	// Prologue: caller pushed arguments left-to-right; pop them into the
+	// parameter slots right-to-left.
+	for i := range f.Params {
+		l.slot(f.Params[i]) // reserve slots 0..n-1 in order
+	}
+	for i := len(f.Params) - 1; i >= 0; i-- {
+		l.emit(ir.OpStoreLocal, int64(l.slots[f.Params[i]]), f.Line)
+	}
+	if err := l.stmts(f.Body); err != nil {
+		return err
+	}
+	l.emit(ir.OpRegionExit, 0, f.Line)
+	l.emit(ir.OpRet, 0, f.Line)
+	out.Code = l.code
+	out.NumLocals = l.next
+	return nil
+}
+
+func (l *lowerer) stmts(ss []minipar.Stmt) error {
+	for _, s := range ss {
+		if err := l.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *lowerer) stmt(s minipar.Stmt) error {
+	switch st := s.(type) {
+	case *minipar.AssignStmt:
+		if err := l.expr(st.Expr, st.Line); err != nil {
+			return err
+		}
+		l.emit(ir.OpStoreLocal, int64(l.slot(st.Name)), st.Line)
+		return nil
+
+	case *minipar.StoreStmt:
+		idx := l.prog.FindArray(st.Array)
+		if idx < 0 {
+			return fmt.Errorf("passes: line %d: unknown array %q", st.Line, st.Array)
+		}
+		if err := l.expr(st.Index, st.Line); err != nil {
+			return err
+		}
+		if err := l.expr(st.Expr, st.Line); err != nil {
+			return err
+		}
+		l.emit(ir.OpStoreArr, int64(idx), st.Line)
+		return nil
+
+	case *minipar.ForStmt:
+		return l.forStmt(st)
+
+	case *minipar.WhileStmt:
+		l.emit(ir.OpRegionEnter, int64(st.RegionID), st.Line)
+		cond := len(l.code)
+		if err := l.expr(st.Cond, st.Line); err != nil {
+			return err
+		}
+		jz := l.emit(ir.OpJumpZero, 0, st.Line)
+		if err := l.stmts(st.Body); err != nil {
+			return err
+		}
+		l.emit(ir.OpJump, int64(cond), st.Line)
+		l.code[jz].A = int64(len(l.code))
+		l.emit(ir.OpRegionExit, 0, st.Line)
+		return nil
+
+	case *minipar.IfStmt:
+		if err := l.expr(st.Cond, st.Line); err != nil {
+			return err
+		}
+		jz := l.emit(ir.OpJumpZero, 0, st.Line)
+		if err := l.stmts(st.Then); err != nil {
+			return err
+		}
+		if len(st.Else) == 0 {
+			l.code[jz].A = int64(len(l.code))
+			return nil
+		}
+		j := l.emit(ir.OpJump, 0, st.Line)
+		l.code[jz].A = int64(len(l.code))
+		if err := l.stmts(st.Else); err != nil {
+			return err
+		}
+		l.code[j].A = int64(len(l.code))
+		return nil
+
+	case *minipar.BarrierStmt:
+		l.emit(ir.OpBarrier, 0, st.Line)
+		return nil
+
+	case *minipar.WorkStmt:
+		if err := l.expr(st.Units, st.Line); err != nil {
+			return err
+		}
+		l.emit(ir.OpWork, 0, st.Line)
+		return nil
+
+	case *minipar.OutStmt:
+		if err := l.expr(st.Expr, st.Line); err != nil {
+			return err
+		}
+		l.emit(ir.OpOut, 0, st.Line)
+		return nil
+
+	case *minipar.CallStmt:
+		fi := l.mod.FindFunc(st.Name)
+		if fi < 0 {
+			return fmt.Errorf("passes: line %d: unknown function %q", st.Line, st.Name)
+		}
+		for _, a := range st.Args {
+			if err := l.expr(a, st.Line); err != nil {
+				return err
+			}
+		}
+		l.emit(ir.OpCall, int64(fi), st.Line)
+		return nil
+
+	case *minipar.LockStmt:
+		if err := l.expr(st.ID, st.Line); err != nil {
+			return err
+		}
+		l.emit(ir.OpLock, 0, st.Line)
+		if err := l.stmts(st.Body); err != nil {
+			return err
+		}
+		if err := l.expr(st.ID, st.Line); err != nil {
+			return err
+		}
+		l.emit(ir.OpUnlock, 0, st.Line)
+		return nil
+
+	default:
+		return fmt.Errorf("passes: unknown statement %T", s)
+	}
+}
+
+// forStmt lowers counted loops. Sequential loops replicate the full range on
+// every thread; parallel loops block-partition [from,to) by thread ID:
+//
+//	lo = from + (to-from)*tid/nthreads
+//	hi = from + (to-from)*(tid+1)/nthreads
+func (l *lowerer) forStmt(st *minipar.ForStmt) error {
+	iSlot := l.slot(st.Var)
+	limit := l.temp()
+
+	if st.Parallel {
+		fromT, spanT := l.temp(), l.temp()
+		if err := l.expr(st.From, st.Line); err != nil {
+			return err
+		}
+		l.emit(ir.OpStoreLocal, int64(fromT), st.Line)
+		if err := l.expr(st.To, st.Line); err != nil {
+			return err
+		}
+		l.emit(ir.OpLoadLocal, int64(fromT), st.Line)
+		l.emit(ir.OpBin, ir.BinSub, st.Line)
+		l.emit(ir.OpStoreLocal, int64(spanT), st.Line)
+
+		// lo -> iSlot
+		l.emit(ir.OpLoadLocal, int64(spanT), st.Line)
+		l.emit(ir.OpTid, 0, st.Line)
+		l.emit(ir.OpBin, ir.BinMul, st.Line)
+		l.emit(ir.OpNThreads, 0, st.Line)
+		l.emit(ir.OpBin, ir.BinDiv, st.Line)
+		l.emit(ir.OpLoadLocal, int64(fromT), st.Line)
+		l.emit(ir.OpBin, ir.BinAdd, st.Line)
+		l.emit(ir.OpStoreLocal, int64(iSlot), st.Line)
+
+		// hi -> limit
+		l.emit(ir.OpLoadLocal, int64(spanT), st.Line)
+		l.emit(ir.OpTid, 0, st.Line)
+		l.emit(ir.OpPush, 1, st.Line)
+		l.emit(ir.OpBin, ir.BinAdd, st.Line)
+		l.emit(ir.OpBin, ir.BinMul, st.Line)
+		l.emit(ir.OpNThreads, 0, st.Line)
+		l.emit(ir.OpBin, ir.BinDiv, st.Line)
+		l.emit(ir.OpLoadLocal, int64(fromT), st.Line)
+		l.emit(ir.OpBin, ir.BinAdd, st.Line)
+		l.emit(ir.OpStoreLocal, int64(limit), st.Line)
+	} else {
+		if err := l.expr(st.From, st.Line); err != nil {
+			return err
+		}
+		l.emit(ir.OpStoreLocal, int64(iSlot), st.Line)
+		if err := l.expr(st.To, st.Line); err != nil {
+			return err
+		}
+		l.emit(ir.OpStoreLocal, int64(limit), st.Line)
+	}
+
+	l.emit(ir.OpRegionEnter, int64(st.RegionID), st.Line)
+	cond := len(l.code)
+	l.emit(ir.OpLoadLocal, int64(iSlot), st.Line)
+	l.emit(ir.OpLoadLocal, int64(limit), st.Line)
+	l.emit(ir.OpBin, ir.BinLt, st.Line)
+	jz := l.emit(ir.OpJumpZero, 0, st.Line)
+	if err := l.stmts(st.Body); err != nil {
+		return err
+	}
+	l.emit(ir.OpLoadLocal, int64(iSlot), st.Line)
+	l.emit(ir.OpPush, 1, st.Line)
+	l.emit(ir.OpBin, ir.BinAdd, st.Line)
+	l.emit(ir.OpStoreLocal, int64(iSlot), st.Line)
+	l.emit(ir.OpJump, int64(cond), st.Line)
+	l.code[jz].A = int64(len(l.code))
+	l.emit(ir.OpRegionExit, 0, st.Line)
+	return nil
+}
+
+func (l *lowerer) expr(e minipar.Expr, line int) error {
+	switch ex := e.(type) {
+	case *minipar.IntLit:
+		l.emit(ir.OpPush, ex.Value, line)
+	case *minipar.VarRef:
+		s, ok := l.slots[ex.Name]
+		if !ok {
+			return fmt.Errorf("passes: line %d: variable %q used before assignment", line, ex.Name)
+		}
+		l.emit(ir.OpLoadLocal, int64(s), line)
+	case *minipar.TidRef:
+		l.emit(ir.OpTid, 0, line)
+	case *minipar.NThreadsRef:
+		l.emit(ir.OpNThreads, 0, line)
+	case *minipar.IndexExpr:
+		idx := l.prog.FindArray(ex.Array)
+		if idx < 0 {
+			return fmt.Errorf("passes: line %d: unknown array %q", line, ex.Array)
+		}
+		if err := l.expr(ex.Index, line); err != nil {
+			return err
+		}
+		l.emit(ir.OpLoadArr, int64(idx), line)
+	case *minipar.BinExpr:
+		if err := l.expr(ex.L, line); err != nil {
+			return err
+		}
+		if err := l.expr(ex.R, line); err != nil {
+			return err
+		}
+		code, err := ir.BinOpCode(ex.Op)
+		if err != nil {
+			return err
+		}
+		l.emit(ir.OpBin, code, line)
+	case *minipar.UnaryExpr:
+		if err := l.expr(ex.X, line); err != nil {
+			return err
+		}
+		if ex.Op == "-" {
+			l.emit(ir.OpNeg, 0, line)
+		} else {
+			l.emit(ir.OpNot, 0, line)
+		}
+	default:
+		return fmt.Errorf("passes: line %d: unknown expression %T", line, e)
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package patterns
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"commprof/internal/comm"
+)
+
+// Classifier assigns a pattern class to a feature vector.
+type Classifier interface {
+	// Predict returns the most likely class for the feature vector.
+	Predict(f [FeatureDim]float64) Class
+	// Name identifies the classifier in reports.
+	Name() string
+}
+
+// ClassifyMatrix is the convenience entry point: extract features and predict.
+func ClassifyMatrix(c Classifier, m *comm.Matrix) Class {
+	return c.Predict(Features(m))
+}
+
+// ---------------------------------------------------------------------------
+// Rule-based classifier (the paper's "algorithmic methods").
+
+// RuleBased classifies with hand-written decision rules over the same
+// features the learners use. It needs no training and documents what each
+// topology looks like quantitatively.
+type RuleBased struct{}
+
+// Name implements Classifier.
+func (RuleBased) Name() string { return "rule-based" }
+
+// Predict implements Classifier.
+func (RuleBased) Predict(f [FeatureDim]float64) Class {
+	band1, ringF, ringB := f[0], f[3], f[4]
+	row0, col0 := f[5], f[6]
+	density, cellCV, rowCV := f[8], f[9], f[10]
+	switch {
+	case ringF > 0.75 && ringB < 0.15:
+		// Strongly one-directional neighbour chain.
+		return Pipeline
+	case row0+col0 > 0.75:
+		return MasterWorker
+	case band1 > 0.45 && f[1] < 0.95 && density < 0.5:
+		return StructuredGrid
+	case density > 0.9 && cellCV < 0.08 && rowCV < 0.08:
+		// Full, almost perfectly flat matrix: barrier flags.
+		return Barrier
+	case band1 > 0.35 && density > 0.5:
+		// Heavy decaying band over a global background.
+		return NBody
+	case density > 0.85 && cellCV < 0.45:
+		return Spectral
+	default:
+		return LinearAlgebra
+	}
+}
+
+// ---------------------------------------------------------------------------
+// k-nearest-neighbours.
+
+// KNN is a k-nearest-neighbour classifier over standardized features.
+type KNN struct {
+	k      int
+	mean   [FeatureDim]float64
+	std    [FeatureDim]float64
+	points [][FeatureDim]float64
+	labels []Class
+}
+
+// NewKNN trains a kNN classifier (k must be odd and positive).
+func NewKNN(k int, train []Sample) (*KNN, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("patterns: k must be positive, got %d", k)
+	}
+	if len(train) < k {
+		return nil, fmt.Errorf("patterns: %d training samples for k=%d", len(train), k)
+	}
+	m := &KNN{k: k}
+	m.mean, m.std = standardize(train)
+	for _, s := range train {
+		m.points = append(m.points, m.scale(s.Features))
+		m.labels = append(m.labels, s.Class)
+	}
+	return m, nil
+}
+
+// Name implements Classifier.
+func (m *KNN) Name() string { return fmt.Sprintf("knn(k=%d)", m.k) }
+
+func (m *KNN) scale(f [FeatureDim]float64) [FeatureDim]float64 {
+	var out [FeatureDim]float64
+	for i := range f {
+		out[i] = (f[i] - m.mean[i]) / m.std[i]
+	}
+	return out
+}
+
+// Predict implements Classifier.
+func (m *KNN) Predict(f [FeatureDim]float64) Class {
+	q := m.scale(f)
+	type nd struct {
+		d     float64
+		label Class
+	}
+	ds := make([]nd, len(m.points))
+	for i, p := range m.points {
+		var sum float64
+		for j := range p {
+			diff := p[j] - q[j]
+			sum += diff * diff
+		}
+		ds[i] = nd{sum, m.labels[i]}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+	votes := make([]int, NumClasses)
+	for i := 0; i < m.k && i < len(ds); i++ {
+		votes[ds[i].label]++
+	}
+	best, bestV := Class(0), -1
+	for c, v := range votes {
+		if v > bestV {
+			best, bestV = Class(c), v
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Gaussian naive Bayes.
+
+// NaiveBayes is a Gaussian naive Bayes classifier.
+type NaiveBayes struct {
+	mean  [NumClasses][FeatureDim]float64
+	vari  [NumClasses][FeatureDim]float64
+	prior [NumClasses]float64
+}
+
+// NewNaiveBayes trains a Gaussian NB model; every class must appear in the
+// training set.
+func NewNaiveBayes(train []Sample) (*NaiveBayes, error) {
+	var count [NumClasses]int
+	m := &NaiveBayes{}
+	for _, s := range train {
+		count[s.Class]++
+		for j, v := range s.Features {
+			m.mean[s.Class][j] += v
+		}
+	}
+	for c := 0; c < int(NumClasses); c++ {
+		if count[c] == 0 {
+			return nil, fmt.Errorf("patterns: class %s missing from training set", Class(c))
+		}
+		for j := range m.mean[c] {
+			m.mean[c][j] /= float64(count[c])
+		}
+		m.prior[c] = float64(count[c]) / float64(len(train))
+	}
+	for _, s := range train {
+		for j, v := range s.Features {
+			d := v - m.mean[s.Class][j]
+			m.vari[s.Class][j] += d * d
+		}
+	}
+	const varFloor = 1e-6
+	for c := 0; c < int(NumClasses); c++ {
+		for j := range m.vari[c] {
+			m.vari[c][j] = m.vari[c][j]/float64(count[c]) + varFloor
+		}
+	}
+	return m, nil
+}
+
+// Name implements Classifier.
+func (m *NaiveBayes) Name() string { return "naive-bayes" }
+
+// Predict implements Classifier.
+func (m *NaiveBayes) Predict(f [FeatureDim]float64) Class {
+	best, bestLL := Class(0), math.Inf(-1)
+	for c := 0; c < int(NumClasses); c++ {
+		ll := math.Log(m.prior[c])
+		for j, v := range f {
+			d := v - m.mean[c][j]
+			ll += -0.5*math.Log(2*math.Pi*m.vari[c][j]) - d*d/(2*m.vari[c][j])
+		}
+		if ll > bestLL {
+			best, bestLL = Class(c), ll
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation harness.
+
+// Evaluation is the result of testing a classifier on labelled samples.
+type Evaluation struct {
+	Accuracy  float64
+	Confusion [NumClasses][NumClasses]int // [true][predicted]
+	N         int
+}
+
+// Evaluate runs the classifier over the test set.
+func Evaluate(c Classifier, test []Sample) Evaluation {
+	var ev Evaluation
+	correct := 0
+	for _, s := range test {
+		pred := c.Predict(s.Features)
+		ev.Confusion[s.Class][pred]++
+		if pred == s.Class {
+			correct++
+		}
+	}
+	ev.N = len(test)
+	if ev.N > 0 {
+		ev.Accuracy = float64(correct) / float64(ev.N)
+	}
+	return ev
+}
+
+// PerClassRecall returns recall per true class.
+func (e Evaluation) PerClassRecall() [NumClasses]float64 {
+	var out [NumClasses]float64
+	for c := 0; c < int(NumClasses); c++ {
+		total := 0
+		for p := 0; p < int(NumClasses); p++ {
+			total += e.Confusion[c][p]
+		}
+		if total > 0 {
+			out[c] = float64(e.Confusion[c][c]) / float64(total)
+		}
+	}
+	return out
+}
+
+func standardize(train []Sample) (mean, std [FeatureDim]float64) {
+	for _, s := range train {
+		for j, v := range s.Features {
+			mean[j] += v
+		}
+	}
+	n := float64(len(train))
+	for j := range mean {
+		mean[j] /= n
+	}
+	for _, s := range train {
+		for j, v := range s.Features {
+			d := v - mean[j]
+			std[j] += d * d
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / n)
+		if std[j] < 1e-9 {
+			std[j] = 1
+		}
+	}
+	return mean, std
+}

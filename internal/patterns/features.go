@@ -1,0 +1,225 @@
+// Package patterns classifies communication matrices into parallel-pattern
+// classes (§VI): computational motifs (linear algebra, spectral, n-body,
+// structured grid), architectural patterns (master/worker, pipeline) and
+// synchronization patterns (barrier). It extracts size-independent structural
+// features from normalized matrices and provides both an algorithmic
+// rule-based classifier and two from-scratch supervised learners (kNN and
+// Gaussian naive Bayes), reproducing the paper's ">97% accuracy" experiment
+// and its observation that learning compensates signature false positives.
+package patterns
+
+import (
+	"math"
+
+	"commprof/internal/comm"
+)
+
+// Class is a parallel-pattern class.
+type Class int
+
+const (
+	// LinearAlgebra is the blocked-panel broadcast structure of LU/Cholesky.
+	LinearAlgebra Class = iota
+	// Spectral is the all-to-all transpose structure of FFT.
+	Spectral
+	// NBody is the distance-decaying band of particle codes.
+	NBody
+	// StructuredGrid is the nearest-neighbour halo exchange of stencils.
+	StructuredGrid
+	// MasterWorker concentrates traffic on one coordinator thread.
+	MasterWorker
+	// Pipeline is the one-directional neighbour chain.
+	Pipeline
+	// Barrier is the flat, uniform all-to-all of synchronization flags.
+	Barrier
+
+	// NumClasses is the number of pattern classes.
+	NumClasses
+)
+
+var classNames = [...]string{
+	"linear-algebra", "spectral", "n-body", "structured-grid",
+	"master-worker", "pipeline", "barrier",
+}
+
+// String returns the class name.
+func (c Class) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		return "unknown"
+	}
+	return classNames[c]
+}
+
+// FeatureDim is the length of the feature vector.
+const FeatureDim = 16
+
+// FeatureNames labels the entries of a feature vector, index-aligned.
+var FeatureNames = [FeatureDim]string{
+	"band1", "band2", "bandLog", "ringFwd", "ringBwd",
+	"row0", "col0", "symmetry", "density", "cellCV",
+	"rowCV", "maxRow", "maxCell", "meanDist", "pow2", "activeRows",
+}
+
+// Features extracts the size-independent structural feature vector of a
+// communication matrix. An all-zero matrix yields the zero vector.
+func Features(m *comm.Matrix) [FeatureDim]float64 {
+	n := m.N()
+	var f [FeatureDim]float64
+	var total float64
+	cells := make([]float64, 0, n*n-n)
+	rows := make([]float64, n)
+	var band1, band2, bandLog, ringF, ringB, row0, col0, pow2 float64
+	var maxCell, meanDist float64
+
+	logBand := int(math.Ceil(math.Log2(float64(n))))
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			v := float64(m.At(s, d))
+			total += v
+			if v > 0 {
+				cells = append(cells, v)
+			}
+			rows[s] += v
+			dist := s - d
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist <= 1 {
+				band1 += v
+			}
+			if dist <= 2 {
+				band2 += v
+			}
+			if dist <= logBand {
+				bandLog += v
+			}
+			if d == (s+1)%n {
+				ringF += v
+			}
+			if d == (s-1+n)%n {
+				ringB += v
+			}
+			if s == 0 {
+				row0 += v
+			}
+			if d == 0 {
+				col0 += v
+			}
+			if dist&(dist-1) == 0 { // power of two (dist>=1 here)
+				pow2 += v
+			}
+			if v > maxCell {
+				maxCell = v
+			}
+			meanDist += v * float64(dist)
+		}
+	}
+	if total == 0 {
+		return f
+	}
+
+	f[0] = band1 / total
+	f[1] = band2 / total
+	f[2] = bandLog / total
+	f[3] = ringF / total
+	f[4] = ringB / total
+	f[5] = row0 / total
+	f[6] = col0 / total
+
+	// Symmetry: 1 - sum|a-aT| / (2*total).
+	var asym float64
+	for s := 0; s < n; s++ {
+		for d := s + 1; d < n; d++ {
+			asym += math.Abs(float64(m.At(s, d)) - float64(m.At(d, s)))
+		}
+	}
+	f[7] = 1 - asym/total
+
+	f[8] = float64(len(cells)) / float64(n*n-n)
+	f[9] = cv(cells)
+
+	maxRow := 0.0
+	for _, r := range rows {
+		if r > maxRow {
+			maxRow = r
+		}
+	}
+	f[10] = cv(rows)
+	f[11] = maxRow / total
+	f[12] = maxCell / total
+	f[13] = meanDist / total / float64(n)
+	f[14] = pow2 / total
+	active := 0
+	for _, r := range rows {
+		if r > 0 {
+			active++
+		}
+	}
+	f[15] = float64(active) / float64(n)
+	return f
+}
+
+func cv(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(xs))) / mean
+}
+
+// Family is the paper's §VI top-level taxonomy: "three classes of parallel
+// patterns could be identified: (1) Computational patterns (Motifs),
+// (2) Architectural patterns and (3) Synchronization patterns."
+type Family int
+
+const (
+	// Computational covers the Berkeley-motif-style classes.
+	Computational Family = iota
+	// Architectural covers program-structure patterns.
+	Architectural
+	// Synchronization covers barrier/lock traffic.
+	Synchronization
+)
+
+// String returns the family name.
+func (f Family) String() string {
+	switch f {
+	case Computational:
+		return "computational"
+	case Architectural:
+		return "architectural"
+	case Synchronization:
+		return "synchronization"
+	default:
+		return "unknown"
+	}
+}
+
+// FamilyOf maps a pattern class to its §VI family.
+func FamilyOf(c Class) Family {
+	switch c {
+	case LinearAlgebra, Spectral, NBody, StructuredGrid:
+		return Computational
+	case MasterWorker, Pipeline:
+		return Architectural
+	case Barrier:
+		return Synchronization
+	default:
+		return Computational
+	}
+}

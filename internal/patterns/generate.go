@@ -1,0 +1,172 @@
+package patterns
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"commprof/internal/comm"
+)
+
+// Generate produces a synthetic communication matrix of the given class for
+// n threads, with multiplicative noise and random overall volume — the
+// labelled training corpus for the supervised classifiers. The generators
+// encode the canonical topology of each motif (the "unique communication
+// topology between each processor/thread" of the paper's introduction).
+func Generate(c Class, n int, rng *rand.Rand) *comm.Matrix {
+	if n < 4 {
+		panic(fmt.Sprintf("patterns: need at least 4 threads, got %d", n))
+	}
+	m := comm.NewMatrix(n)
+	scale := 1000 + rng.Intn(100000) // overall volume is size-dependent noise
+	noise := func(base float64) uint64 {
+		if base <= 0 {
+			return 0
+		}
+		v := base * float64(scale) * (0.7 + 0.6*rng.Float64())
+		return uint64(v) + 1
+	}
+	switch c {
+	case LinearAlgebra:
+		// 2-D processor grid; panel owners broadcast along their grid row
+		// and column.
+		pr := 1
+		for d := 1; d*d <= n; d++ {
+			if n%d == 0 {
+				pr = d
+			}
+		}
+		pc := n / pr
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				sameRow := s/pc == d/pc
+				sameCol := s%pc == d%pc
+				switch {
+				case sameRow || sameCol:
+					m.Add(int32(s), int32(d), noise(1))
+				case rng.Float64() < 0.1:
+					m.Add(int32(s), int32(d), noise(0.05))
+				}
+			}
+		}
+	case Spectral:
+		// Transpose all-to-all: uniform off-diagonal volume.
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s != d {
+					m.Add(int32(s), int32(d), noise(1))
+				}
+			}
+		}
+	case NBody:
+		// Distance-decaying symmetric band with low global background.
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				dist := math.Abs(float64(s - d))
+				w := math.Exp(-dist/2) + 0.03
+				m.Add(int32(s), int32(d), noise(w))
+			}
+		}
+	case StructuredGrid:
+		// Halo exchange with immediate neighbours (1-D or 2-D grid).
+		pc := 1
+		for d := 1; d*d <= n; d++ {
+			if n%d == 0 {
+				pc = n / d
+			}
+		}
+		for s := 0; s < n; s++ {
+			for _, d := range []int{s - 1, s + 1, s - pc, s + pc} {
+				if d >= 0 && d < n && d != s {
+					m.Add(int32(s), int32(d), noise(1))
+				}
+			}
+		}
+	case MasterWorker:
+		// Thread 0 distributes work and collects results.
+		for w := 1; w < n; w++ {
+			m.Add(0, int32(w), noise(1))
+			m.Add(int32(w), 0, noise(0.8))
+			// Occasional light peer chatter (work stealing).
+			if rng.Float64() < 0.15 {
+				m.Add(int32(w), int32(rng.Intn(n)), noise(0.05))
+			}
+		}
+	case Pipeline:
+		// One-directional stage chain.
+		for s := 0; s < n-1; s++ {
+			m.Add(int32(s), int32(s+1), noise(1))
+		}
+		if rng.Float64() < 0.3 {
+			m.Add(int32(n-1), 0, noise(0.5)) // ring closure variant
+		}
+	case Barrier:
+		// Flat all-to-all flag exchange: near-identical cells.
+		base := noise(1)
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s != d {
+					jitter := uint64(rng.Intn(3))
+					m.Add(int32(s), int32(d), base+jitter)
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("patterns: unknown class %d", c))
+	}
+	return m
+}
+
+// AddSignatureNoise simulates the false-positive communication a small
+// signature memory injects: spurious byte counts at uniformly random cells.
+// rate is the fraction of the matrix's total volume added as noise.
+func AddSignatureNoise(m *comm.Matrix, rate float64, rng *rand.Rand) {
+	n := m.N()
+	total := m.Total()
+	budget := uint64(float64(total) * rate)
+	if budget == 0 {
+		return
+	}
+	chunks := n * 4
+	per := budget / uint64(chunks)
+	if per == 0 {
+		per = 1
+	}
+	for i := 0; i < chunks; i++ {
+		s, d := rng.Intn(n), rng.Intn(n)
+		if s == d {
+			continue
+		}
+		m.Add(int32(s), int32(d), per)
+	}
+}
+
+// Sample is a labelled training/evaluation example.
+type Sample struct {
+	Class    Class
+	Features [FeatureDim]float64
+}
+
+// Corpus generates perClass samples of every class across the given thread
+// counts, with optional signature noise.
+func Corpus(perClass int, threadCounts []int, noiseRate float64, rng *rand.Rand) []Sample {
+	var out []Sample
+	for c := Class(0); c < NumClasses; c++ {
+		for i := 0; i < perClass; i++ {
+			n := threadCounts[rng.Intn(len(threadCounts))]
+			m := Generate(c, n, rng)
+			if noiseRate > 0 {
+				AddSignatureNoise(m, noiseRate, rng)
+			}
+			out = append(out, Sample{Class: c, Features: Features(m)})
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,233 @@
+// Package sig implements the paper's central data structure, the
+// "Asymmetric Signature Memory" (§IV-D2, Fig. 3), plus a collision-free
+// reference implementation used as the ground-truth baseline for measuring
+// signature false-positive rates (§V-A3).
+//
+// A software signature gives an approximate representation of an unbounded
+// set with a bounded amount of state. The asymmetry here is between the two
+// access kinds:
+//
+//   - the READ signature is two-level: a fixed array of n slots addressed by
+//     MurmurHash, each slot holding a lazily allocated bloom filter that
+//     records the set of thread IDs which have read addresses hashing to the
+//     slot (Fig. 3a);
+//
+//   - the WRITE signature is one-level: a fixed array of slots, each holding
+//     only the ID of the last thread that wrote an address hashing to the
+//     slot (Fig. 3b).
+//
+// Collisions (h(v1)==h(v2), v1!=v2) produce dependencies that do not exist —
+// false positives — at a rate controlled by the slot count, which is the
+// trade-off the paper quantifies. Total memory is fixed and given by Eq. 2.
+package sig
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"commprof/internal/bloom"
+	"commprof/internal/murmur"
+)
+
+// NoWriter is returned when an address misses the write signature.
+const NoWriter int32 = -1
+
+// Backend is the conflict store consulted by the RAW detector (Algorithm 1).
+// Implementations must be safe for concurrent use: the analysis runs inside
+// the target program's own threads.
+type Backend interface {
+	// ObserveRead processes a read of addr by thread tid. It returns the
+	// last recorded writer of addr (NoWriter on a write-signature miss) and
+	// whether this is tid's first read of addr since the last write to it
+	// (i.e. addr∉read-signature for tid before this call). The read is
+	// recorded in the read signature as a side effect.
+	ObserveRead(addr uint64, tid int32) (writer int32, firstRead bool)
+	// ObserveWrite records tid as the last writer of addr and invalidates
+	// the recorded reader set for addr.
+	ObserveWrite(addr uint64, tid int32)
+	// FootprintBytes reports the memory the backend actually holds.
+	FootprintBytes() uint64
+	// Reset clears all recorded state.
+	Reset()
+	// Name identifies the backend in reports.
+	Name() string
+}
+
+// Options configures an asymmetric signature memory.
+type Options struct {
+	// Slots is the signature size n: the element count of both the
+	// first-level read array and the write array. The paper evaluates
+	// 1e6, 4e6, 1e7 and 1e8; 1e7 is its standard operating point.
+	Slots uint64
+	// Threads is t, the thread count of the target program; it sizes each
+	// slot's bloom filter.
+	Threads int
+	// FPRate is the acceptable false-positive rate of the per-slot bloom
+	// filters (the paper uses 0.001 throughout its evaluation).
+	FPRate float64
+	// SeedRead / SeedWrite select independent hash functions for the two
+	// arrays; zero values get deterministic defaults.
+	SeedRead, SeedWrite uint64
+	// Hash selects the slot-addressing hash function. The default,
+	// HashMurmur, is the paper's choice ("much lower time complexity while
+	// having less collisions in comparison with other hash functions",
+	// §IV-D2); HashFold is a deliberately weaker xor-fold kept for the
+	// hash-quality ablation experiment.
+	Hash HashKind
+}
+
+// HashKind selects the signature's slot-addressing hash.
+type HashKind int
+
+const (
+	// HashMurmur is MurmurHash3 (the paper's choice; default).
+	HashMurmur HashKind = iota
+	// HashFold is a weak xor-fold of the address halves, kept as the
+	// ablation baseline: strided addresses collide in clusters.
+	HashFold
+)
+
+func (o *Options) setDefaults() error {
+	if o.Slots == 0 {
+		return fmt.Errorf("sig: Slots must be positive")
+	}
+	if o.Threads <= 0 {
+		return fmt.Errorf("sig: Threads must be positive, got %d", o.Threads)
+	}
+	if o.FPRate <= 0 || o.FPRate >= 1 {
+		return fmt.Errorf("sig: FPRate must be in (0,1), got %v", o.FPRate)
+	}
+	if o.SeedRead == 0 {
+		o.SeedRead = 0x9E3779B97F4A7C15
+	}
+	if o.SeedWrite == 0 {
+		o.SeedWrite = 0xC2B2AE3D27D4EB4F
+	}
+	return nil
+}
+
+// Asymmetric is the paper's asymmetric signature memory. All operations are
+// lock-free: slot values use atomics and bloom filters use an atomic bitset,
+// mirroring the paper's C++11 lock-free primitives.
+type Asymmetric struct {
+	opts   Options
+	bloomP bloom.Params
+
+	// write signature: slot -> last writer tid (+1, so 0 means empty).
+	write []atomic.Int32
+	// read signature level 1: slot -> *bloom.Filter (nil until first use).
+	read []atomic.Pointer[bloom.Filter]
+
+	allocated atomic.Uint64 // number of live second-level filters
+}
+
+// NewAsymmetric builds an asymmetric signature memory.
+func NewAsymmetric(opts Options) (*Asymmetric, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	return &Asymmetric{
+		opts:   opts,
+		bloomP: bloom.Derive(uint64(opts.Threads), opts.FPRate),
+		write:  make([]atomic.Int32, opts.Slots),
+		read:   make([]atomic.Pointer[bloom.Filter], opts.Slots),
+	}, nil
+}
+
+// Name implements Backend.
+func (s *Asymmetric) Name() string { return "asymmetric-signature" }
+
+// Options returns the configuration the signature was built with.
+func (s *Asymmetric) Options() Options { return s.opts }
+
+func (s *Asymmetric) readSlot(addr uint64) uint64 {
+	return s.hash(addr, s.opts.SeedRead) % s.opts.Slots
+}
+
+func (s *Asymmetric) writeSlot(addr uint64) uint64 {
+	return s.hash(addr, s.opts.SeedWrite) % s.opts.Slots
+}
+
+func (s *Asymmetric) hash(addr, seed uint64) uint64 {
+	if s.opts.Hash == HashFold {
+		// Weak fold: mixes poorly, so regular access strides map to
+		// clustered slots. Exists only to quantify what MurmurHash buys.
+		v := addr ^ seed
+		return v ^ (v >> 17) ^ (v << 9)
+	}
+	return murmur.HashAddr(addr, seed)
+}
+
+// filterAt returns the bloom filter for a read slot, allocating it on first
+// use with a lock-free CAS (losing allocators discard their filter).
+func (s *Asymmetric) filterAt(slot uint64) *bloom.Filter {
+	if f := s.read[slot].Load(); f != nil {
+		return f
+	}
+	nf := bloom.New(s.bloomP, s.opts.SeedRead^slot)
+	if s.read[slot].CompareAndSwap(nil, nf) {
+		s.allocated.Add(1)
+		return nf
+	}
+	return s.read[slot].Load()
+}
+
+// ObserveRead implements Backend.
+func (s *Asymmetric) ObserveRead(addr uint64, tid int32) (int32, bool) {
+	writer := NoWriter
+	if v := s.write[s.writeSlot(addr)].Load(); v != 0 {
+		writer = v - 1
+	}
+	already := s.filterAt(s.readSlot(addr)).Add(uint64(tid))
+	return writer, !already
+}
+
+// ObserveWrite implements Backend.
+func (s *Asymmetric) ObserveWrite(addr uint64, tid int32) {
+	// Clear the correspondent bloom filter in the read signature: the write
+	// produces a new value, so earlier readers must count again (Fig. 2's
+	// communicating-access rule).
+	if f := s.read[s.readSlot(addr)].Load(); f != nil {
+		f.Reset()
+	}
+	s.write[s.writeSlot(addr)].Store(tid + 1)
+}
+
+// FootprintBytes implements Backend: the live heap held by the two arrays
+// plus every allocated second-level filter.
+func (s *Asymmetric) FootprintBytes() uint64 {
+	perFilter := (s.bloomP.Bits + 63) / 64 * 8
+	return s.opts.Slots*4 + // write array (4-byte slots, as in Eq. 2)
+		s.opts.Slots*8 + // read level-1 pointer array
+		s.allocated.Load()*perFilter
+}
+
+// ModelBytes returns Eq. 2's closed-form memory bound for this configuration:
+// every slot's filter allocated.
+func (s *Asymmetric) ModelBytes() uint64 {
+	return SigMem(s.opts.Slots, s.opts.Threads, s.opts.FPRate)
+}
+
+// Reset clears both signatures.
+func (s *Asymmetric) Reset() {
+	for i := range s.write {
+		s.write[i].Store(0)
+	}
+	for i := range s.read {
+		s.read[i].Store(nil)
+	}
+	s.allocated.Store(0)
+}
+
+// AllocatedFilters reports how many second-level bloom filters exist.
+func (s *Asymmetric) AllocatedFilters() uint64 { return s.allocated.Load() }
+
+// SigMem is the paper's Equation 2: the total signature memory in bytes for
+// n slots, t threads and the given bloom false-positive rate,
+//
+//	SigMem(n,t) = n · (4 + (−t·ln(FPRate)) / (8·ln²2)).
+func SigMem(n uint64, t int, fpRate float64) uint64 {
+	perSlot := 4 + (-float64(t)*math.Log(fpRate))/(8*math.Ln2*math.Ln2)
+	return uint64(math.Ceil(float64(n) * perSlot))
+}

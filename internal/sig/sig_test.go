@@ -1,0 +1,296 @@
+package sig
+
+import (
+	"math"
+	"math/rand"
+
+	"commprof/internal/bloom"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestSig(t *testing.T, slots uint64) *Asymmetric {
+	t.Helper()
+	s, err := NewAsymmetric(Options{Slots: slots, Threads: 32, FPRate: 0.001})
+	if err != nil {
+		t.Fatalf("NewAsymmetric: %v", err)
+	}
+	return s
+}
+
+func TestOptionsValidation(t *testing.T) {
+	bad := []Options{
+		{Slots: 0, Threads: 32, FPRate: 0.001},
+		{Slots: 10, Threads: 0, FPRate: 0.001},
+		{Slots: 10, Threads: 4, FPRate: 0},
+		{Slots: 10, Threads: 4, FPRate: 1},
+	}
+	for i, o := range bad {
+		if _, err := NewAsymmetric(o); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestRAWSequence(t *testing.T) {
+	s := newTestSig(t, 1<<16)
+	const addr = 0x1000
+
+	// Read before any write: no writer recorded.
+	if w, first := s.ObserveRead(addr, 1); w != NoWriter || !first {
+		t.Fatalf("read-before-write = (%d,%v), want (NoWriter,true)", w, first)
+	}
+
+	// T0 writes, T1 reads: writer seen, first read (write cleared T1's record).
+	s.ObserveWrite(addr, 0)
+	w, first := s.ObserveRead(addr, 1)
+	if w != 0 || !first {
+		t.Fatalf("after write: (%d,%v), want (0,true)", w, first)
+	}
+
+	// Second read by T1 without intervening write: not a first read.
+	if _, first := s.ObserveRead(addr, 1); first {
+		t.Fatal("repeat read reported as first")
+	}
+
+	// Different thread's first read still counts.
+	if w, first := s.ObserveRead(addr, 2); w != 0 || !first {
+		t.Fatalf("T2 read = (%d,%v), want (0,true)", w, first)
+	}
+
+	// A new write resets the reader set: T1 reads count again.
+	s.ObserveWrite(addr, 3)
+	if w, first := s.ObserveRead(addr, 1); w != 3 || !first {
+		t.Fatalf("after rewrite = (%d,%v), want (3,true)", w, first)
+	}
+}
+
+func TestWriteOverwritesWriter(t *testing.T) {
+	s := newTestSig(t, 1<<16)
+	s.ObserveWrite(0x2000, 5)
+	s.ObserveWrite(0x2000, 9)
+	if w, _ := s.ObserveRead(0x2000, 1); w != 9 {
+		t.Fatalf("last writer = %d, want 9", w)
+	}
+}
+
+func TestThreadZeroIsValidWriter(t *testing.T) {
+	// Thread 0 must be distinguishable from "no writer" (+1 encoding).
+	s := newTestSig(t, 1<<12)
+	s.ObserveWrite(0x3000, 0)
+	if w, _ := s.ObserveRead(0x3000, 1); w != 0 {
+		t.Fatalf("writer = %d, want 0", w)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := newTestSig(t, 1<<12)
+	s.ObserveWrite(0x10, 2)
+	s.ObserveRead(0x10, 3)
+	s.Reset()
+	if w, first := s.ObserveRead(0x10, 3); w != NoWriter || !first {
+		t.Fatalf("after Reset: (%d,%v)", w, first)
+	}
+	if s.AllocatedFilters() != 1 { // the read above re-allocated exactly one
+		t.Fatalf("AllocatedFilters = %d, want 1", s.AllocatedFilters())
+	}
+}
+
+func TestMatchesPerfectWhenLarge(t *testing.T) {
+	// With a huge slot count relative to the address set, the signature must
+	// agree with the perfect backend on essentially every event; a handful
+	// of residual hash collisions (birthday bound) are tolerated.
+	s := newTestSig(t, 1<<22)
+	p := NewPerfect(32)
+	rng := rand.New(rand.NewSource(7))
+	const addrs = 512
+	reads, mismatches := 0, 0
+	for i := 0; i < 20000; i++ {
+		addr := uint64(0x4000 + 8*rng.Intn(addrs))
+		tid := int32(rng.Intn(32))
+		if rng.Intn(3) == 0 {
+			s.ObserveWrite(addr, tid)
+			p.ObserveWrite(addr, tid)
+		} else {
+			reads++
+			ws, fs := s.ObserveRead(addr, tid)
+			wp, fp := p.ObserveRead(addr, tid)
+			if ws != wp || fs != fp {
+				mismatches++
+			}
+		}
+	}
+	if rate := float64(mismatches) / float64(reads); rate > 0.01 {
+		t.Fatalf("mismatch rate %.4f (%d/%d) too high for a 4M-slot signature", rate, mismatches, reads)
+	}
+}
+
+func TestSmallSignatureProducesFalsePositives(t *testing.T) {
+	// The core trade-off (§V-A3): with far fewer slots than addresses,
+	// collisions must create writer reports the perfect backend rejects.
+	s, err := NewAsymmetric(Options{Slots: 64, Threads: 32, FPRate: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPerfect(32)
+	fp := 0
+	for i := 0; i < 4096; i++ {
+		addr := uint64(0x8000 + 8*i)
+		if i%2 == 0 {
+			s.ObserveWrite(addr, 1)
+			p.ObserveWrite(addr, 1)
+			continue
+		}
+		ws, _ := s.ObserveRead(addr, 2)
+		wp, _ := p.ObserveRead(addr, 2)
+		if ws != NoWriter && wp == NoWriter {
+			fp++
+		}
+	}
+	if fp == 0 {
+		t.Fatal("64-slot signature produced zero false positives over 4096 distinct addresses")
+	}
+}
+
+func TestEq2PaperOperatingPoint(t *testing.T) {
+	// §V-A2: n=1e7 slots, t=32 threads, FPRate=0.001 → "around 580MB could
+	// be sufficient". Eq. 2 gives n·(4+(−32·ln0.001)/(8·ln²2)) ≈ 6.15e8 B.
+	got := SigMem(10_000_000, 32, 0.001)
+	perSlot := 4 + (-32*math.Log(0.001))/(8*math.Ln2*math.Ln2)
+	want := uint64(math.Ceil(1e7 * perSlot))
+	if got != want {
+		t.Fatalf("SigMem = %d, want %d", got, want)
+	}
+	mb := float64(got) / (1 << 20)
+	if mb < 500 || mb > 650 {
+		t.Fatalf("SigMem(1e7,32,0.001) = %.1f MB, paper says ≈580 MB", mb)
+	}
+}
+
+func TestSigMemMonotonic(t *testing.T) {
+	f := func(nSmall, nBig uint32, threads uint8) bool {
+		if nSmall > nBig {
+			nSmall, nBig = nBig, nSmall
+		}
+		tc := int(threads%64) + 1
+		return SigMem(uint64(nSmall), tc, 0.001) <= SigMem(uint64(nBig), tc, 0.001)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFootprintBoundedByModel(t *testing.T) {
+	s := newTestSig(t, 1<<14)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		addr := uint64(rng.Int63())
+		if i%4 == 0 {
+			s.ObserveWrite(addr, int32(i%32))
+		} else {
+			s.ObserveRead(addr, int32(i%32))
+		}
+	}
+	foot := s.FootprintBytes()
+	// Upper bound from the actual geometry: both arrays plus every slot's
+	// filter rounded up to whole 64-bit words (Eq. 2 models the unrounded
+	// bit count, so it sits slightly below this rounded-up bound).
+	perFilter := (bloom.Derive(32, 0.001).Bits + 63) / 64 * 8
+	bound := uint64(1<<14)*(4+8) + uint64(1<<14)*perFilter
+	if foot > bound {
+		t.Fatalf("footprint %d exceeds geometry bound %d", foot, bound)
+	}
+	if s.AllocatedFilters() == 0 {
+		t.Fatal("no filters allocated after 100k accesses")
+	}
+}
+
+func TestFootprintFixedUnderGrowingWorkingSet(t *testing.T) {
+	// §V-A2's headline property: memory consumption stays fixed regardless
+	// of the program's input size. Saturate the signature with two working
+	// sets that differ 10x and compare.
+	measure := func(addrs int) uint64 {
+		s := newTestSig(t, 4096)
+		for i := 0; i < addrs; i++ {
+			s.ObserveWrite(uint64(i*64), 0)
+			s.ObserveRead(uint64(i*64), 1)
+		}
+		return s.FootprintBytes()
+	}
+	small, large := measure(100_000), measure(1_000_000)
+	if small != large {
+		t.Fatalf("footprint grew with working set: %d -> %d", small, large)
+	}
+}
+
+func TestPerfectFootprintGrows(t *testing.T) {
+	p := NewPerfect(32)
+	p.ObserveWrite(0, 0)
+	f1 := p.FootprintBytes()
+	for i := uint64(0); i < 1000; i++ {
+		p.ObserveWrite(i*8, 0)
+	}
+	if p.FootprintBytes() <= f1 {
+		t.Fatal("perfect backend footprint did not grow with distinct addresses")
+	}
+	if p.Entries() != 1000 {
+		t.Fatalf("Entries = %d, want 1000", p.Entries())
+	}
+}
+
+func TestConcurrentObserveNoRace(t *testing.T) {
+	// Lock-freedom smoke test: hammer one signature from many goroutines.
+	// Run with -race to validate the atomic design.
+	s := newTestSig(t, 1<<12)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				addr := uint64((w*5000 + i) % 997 * 8)
+				if i%3 == 0 {
+					s.ObserveWrite(addr, int32(w))
+				} else {
+					s.ObserveRead(addr, int32(w))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestBackendInterfaceCompliance(t *testing.T) {
+	var _ Backend = &Asymmetric{}
+	var _ Backend = &Perfect{}
+	s := newTestSig(t, 16)
+	if s.Name() == "" || NewPerfect(2).Name() == "" {
+		t.Error("backends must have names")
+	}
+}
+
+func BenchmarkObserveReadHit(b *testing.B) {
+	s, _ := NewAsymmetric(Options{Slots: 1 << 20, Threads: 32, FPRate: 0.001})
+	s.ObserveWrite(0x1000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ObserveRead(0x1000, int32(i&31))
+	}
+}
+
+func BenchmarkObserveWrite(b *testing.B) {
+	s, _ := NewAsymmetric(Options{Slots: 1 << 20, Threads: 32, FPRate: 0.001})
+	for i := 0; i < b.N; i++ {
+		s.ObserveWrite(uint64(i)&0xffff*8, int32(i&31))
+	}
+}
+
+func BenchmarkPerfectObserveRead(b *testing.B) {
+	p := NewPerfect(32)
+	p.ObserveWrite(0x1000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ObserveRead(0x1000, int32(i&31))
+	}
+}

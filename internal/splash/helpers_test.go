@@ -1,0 +1,100 @@
+package splash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProcGrid(t *testing.T) {
+	cases := map[int][2]int{
+		1:  {1, 1},
+		2:  {1, 2},
+		4:  {2, 2},
+		8:  {2, 4},
+		16: {4, 4},
+		32: {4, 8},
+		6:  {2, 3},
+		7:  {1, 7}, // prime: degenerate 1xN grid
+	}
+	for threads, want := range cases {
+		pr, pc := procGrid(threads)
+		if pr != want[0] || pc != want[1] {
+			t.Errorf("procGrid(%d) = (%d,%d), want %v", threads, pr, pc, want)
+		}
+		if pr*pc != threads {
+			t.Errorf("procGrid(%d) does not cover all threads", threads)
+		}
+	}
+}
+
+func TestBlockRangePartition(t *testing.T) {
+	// Property: the p block ranges tile [0,n) exactly, in order, with sizes
+	// differing by at most 1.
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := uint64(nRaw)
+		p := int(pRaw%32) + 1
+		var prevHi uint64
+		minSz, maxSz := n+1, uint64(0)
+		for id := 0; id < p; id++ {
+			lo, hi := blockRange(n, id, p)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			prevHi = hi
+		}
+		if prevHi != n {
+			return false
+		}
+		return n == 0 || maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorshiftDeterministicPerThread(t *testing.T) {
+	a1 := newXorshift(42, 3)
+	a2 := newXorshift(42, 3)
+	b := newXorshift(42, 4)
+	diff := false
+	for i := 0; i < 100; i++ {
+		v1, v2, v3 := a1.next(), a2.next(), b.next()
+		if v1 != v2 {
+			t.Fatal("same seed+tid diverged")
+		}
+		if v1 != v3 {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different tids produced identical streams")
+	}
+}
+
+func TestXorshiftIntnBounds(t *testing.T) {
+	rng := newXorshift(7, 0)
+	for i := 0; i < 10000; i++ {
+		if v := rng.intn(17); v >= 17 {
+			t.Fatalf("intn(17) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("intn(0) must panic")
+		}
+	}()
+	rng.intn(0)
+}
+
+func TestScale3(t *testing.T) {
+	if scale3(SimDev, 1, 2, 3) != 1 || scale3(SimSmall, 1, 2, 3) != 2 || scale3(SimLarge, 1, 2, 3) != 3 {
+		t.Fatal("scale3 selection wrong")
+	}
+}

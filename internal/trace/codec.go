@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Stream couples a static region table with a recorded access sequence, e.g.
+// for writing a trace to disk and re-analysing it offline (the mode the paper
+// contrasts with its on-the-fly analysis).
+type Stream struct {
+	Table    *Table
+	Accesses []Access
+}
+
+const (
+	codecMagic   = 0x43504d54 // "CPMT"
+	codecVersion = 1
+	accessRecLen = 8 + 8 + 4 + 4 + 4 + 1
+)
+
+// Encode writes the stream in a compact little-endian binary format.
+func (s *Stream) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], codecMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], codecVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(s.Table.Len()))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(s.Accesses)))
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, r := range s.Table.Regions {
+		var buf [9]byte
+		binary.LittleEndian.PutUint32(buf[0:], uint32(r.ID))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(r.Parent))
+		buf[8] = byte(r.Kind)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("trace: write region: %w", err)
+		}
+		if err := writeString(bw, r.Name); err != nil {
+			return err
+		}
+	}
+	rec := make([]byte, accessRecLen)
+	for _, a := range s.Accesses {
+		binary.LittleEndian.PutUint64(rec[0:], a.Time)
+		binary.LittleEndian.PutUint64(rec[8:], a.Addr)
+		binary.LittleEndian.PutUint32(rec[16:], a.Size)
+		binary.LittleEndian.PutUint32(rec[20:], uint32(a.Thread))
+		binary.LittleEndian.PutUint32(rec[24:], uint32(a.Region))
+		rec[28] = byte(a.Kind)
+		if _, err := bw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write access: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a stream previously written by Encode.
+func Decode(r io.Reader) (*Stream, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != codecMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != codecVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	nRegions := binary.LittleEndian.Uint32(hdr[8:])
+	nAccesses := binary.LittleEndian.Uint32(hdr[12:])
+	s := &Stream{Table: NewTable()}
+	for i := uint32(0); i < nRegions; i++ {
+		var buf [9]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: read region %d: %w", i, err)
+		}
+		name, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: read region %d name: %w", i, err)
+		}
+		s.Table.Regions = append(s.Table.Regions, Region{
+			ID:     int32(binary.LittleEndian.Uint32(buf[0:])),
+			Parent: int32(binary.LittleEndian.Uint32(buf[4:])),
+			Kind:   RegionKind(buf[8]),
+			Name:   name,
+		})
+	}
+	if err := s.Table.Validate(); err != nil {
+		return nil, err
+	}
+	// Cap the preallocation: nAccesses is untrusted input, and a crafted
+	// header must not drive a multi-gigabyte allocation before the read
+	// inevitably hits EOF (found by FuzzDecode).
+	prealloc := nAccesses
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	s.Accesses = make([]Access, 0, prealloc)
+	rec := make([]byte, accessRecLen)
+	for i := uint32(0); i < nAccesses; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("trace: read access %d: %w", i, err)
+		}
+		s.Accesses = append(s.Accesses, Access{
+			Time:   binary.LittleEndian.Uint64(rec[0:]),
+			Addr:   binary.LittleEndian.Uint64(rec[8:]),
+			Size:   binary.LittleEndian.Uint32(rec[16:]),
+			Thread: int32(binary.LittleEndian.Uint32(rec[20:])),
+			Region: int32(binary.LittleEndian.Uint32(rec[24:])),
+			Kind:   Kind(rec[28]),
+		})
+	}
+	return s, nil
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(s)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("trace: write string len: %w", err)
+	}
+	if _, err := w.WriteString(s); err != nil {
+		return fmt.Errorf("trace: write string: %w", err)
+	}
+	return nil
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > 1<<20 {
+		return "", fmt.Errorf("trace: string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks that arbitrary bytes never panic the trace decoder and
+// that anything it accepts re-encodes to a decodable stream (round-trip
+// stability).
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid encoding and a few corruptions of it.
+	tb := NewTable()
+	fn := tb.AddFunc("f", NoRegion)
+	lp := tb.AddLoop("f#0", fn)
+	s := &Stream{Table: tb, Accesses: []Access{
+		{Time: 1, Addr: 0x1000, Size: 8, Thread: 0, Region: lp, Kind: Write},
+		{Time: 2, Addr: 0x1000, Size: 8, Thread: 1, Region: lp, Kind: Read},
+	}}
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("CPMT"))
+	corrupt := append([]byte(nil), valid...)
+	corrupt[8] ^= 0xff // region count
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := st.Encode(&out); err != nil {
+			t.Fatalf("accepted stream failed to re-encode: %v", err)
+		}
+		st2, err := Decode(&out)
+		if err != nil {
+			t.Fatalf("re-encoded stream failed to decode: %v", err)
+		}
+		if len(st2.Accesses) != len(st.Accesses) || st2.Table.Len() != st.Table.Len() {
+			t.Fatal("round trip changed stream shape")
+		}
+	})
+}

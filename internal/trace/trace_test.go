@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func buildSampleTable(t *testing.T) *Table {
+	t.Helper()
+	tb := NewTable()
+	main := tb.AddFunc("main", NoRegion)
+	outer := tb.AddLoop("main#0", main)
+	inner := tb.AddLoop("main#1", outer)
+	daxpy := tb.AddFunc("daxpy", NoRegion)
+	dl := tb.AddLoop("daxpy#0", daxpy)
+	_ = inner
+	_ = dl
+	if err := tb.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return tb
+}
+
+func TestTableHierarchy(t *testing.T) {
+	tb := buildSampleTable(t)
+	// IDs: 0=main 1=main#0 2=main#1 3=daxpy 4=daxpy#0
+	if got := tb.ParentLoop(2); got != 1 {
+		t.Errorf("ParentLoop(inner) = %d, want 1", got)
+	}
+	if got := tb.ParentLoop(1); got != NoRegion {
+		t.Errorf("ParentLoop(outer) = %d, want NoRegion", got)
+	}
+	if got := tb.EnclosingFunc(2); got != "main" {
+		t.Errorf("EnclosingFunc(inner) = %q", got)
+	}
+	if got := tb.EnclosingFunc(4); got != "daxpy" {
+		t.Errorf("EnclosingFunc(daxpy#0) = %q", got)
+	}
+	if got := tb.Path(2); !reflect.DeepEqual(got, []int32{0, 1, 2}) {
+		t.Errorf("Path(2) = %v", got)
+	}
+	if got := tb.Children(0); !reflect.DeepEqual(got, []int32{1}) {
+		t.Errorf("Children(main) = %v", got)
+	}
+	if got := tb.Children(NoRegion); !reflect.DeepEqual(got, []int32{0, 3}) {
+		t.Errorf("roots = %v", got)
+	}
+}
+
+func TestTableRegionErrors(t *testing.T) {
+	tb := buildSampleTable(t)
+	if _, err := tb.Region(99); err == nil {
+		t.Error("Region(99) should error")
+	}
+	if _, err := tb.Region(-2); err == nil {
+		t.Error("Region(-2) should error")
+	}
+}
+
+func TestAddWithBadParentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for dangling parent")
+		}
+	}()
+	NewTable().AddLoop("x", 5)
+}
+
+func TestValidateRejectsCorruptTables(t *testing.T) {
+	tb := &Table{Regions: []Region{{ID: 1, Parent: NoRegion, Kind: FuncRegion, Name: "f"}}}
+	if err := tb.Validate(); err == nil {
+		t.Error("non-dense IDs must fail validation")
+	}
+	tb2 := &Table{Regions: []Region{
+		{ID: 0, Parent: 0, Kind: FuncRegion, Name: "self"},
+	}}
+	if err := tb2.Validate(); err == nil {
+		t.Error("self-parent must fail validation")
+	}
+}
+
+func TestSortAccessesTemporalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	as := make([]Access, 500)
+	for i := range as {
+		as[i] = Access{
+			Time:   uint64(rng.Intn(100)),
+			Thread: int32(rng.Intn(8)),
+			Addr:   uint64(rng.Intn(64)),
+		}
+	}
+	SortAccesses(as)
+	for i := 1; i < len(as); i++ {
+		a, b := as[i-1], as[i]
+		if a.Time > b.Time {
+			t.Fatalf("time order violated at %d", i)
+		}
+		if a.Time == b.Time && a.Thread > b.Thread {
+			t.Fatalf("thread tiebreak violated at %d", i)
+		}
+		if a.Time == b.Time && a.Thread == b.Thread && a.Addr > b.Addr {
+			t.Fatalf("addr tiebreak violated at %d", i)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tb := buildSampleTable(t)
+	s := &Stream{Table: tb, Accesses: []Access{
+		{Time: 1, Addr: 0x1000, Size: 8, Thread: 0, Region: 1, Kind: Write},
+		{Time: 2, Addr: 0x1000, Size: 8, Thread: 3, Region: 2, Kind: Read},
+		{Time: 3, Addr: 0xffffffffffff, Size: 4, Thread: 31, Region: NoRegion, Kind: Read},
+	}}
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.Table.Regions, tb.Regions) {
+		t.Errorf("table mismatch:\n got %+v\nwant %+v", got.Table.Regions, tb.Regions)
+	}
+	if !reflect.DeepEqual(got.Accesses, s.Accesses) {
+		t.Errorf("accesses mismatch:\n got %+v\nwant %+v", got.Accesses, s.Accesses)
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(times []uint64, addrs []uint64, kinds []bool) bool {
+		tb := NewTable()
+		fn := tb.AddFunc("f", NoRegion)
+		lp := tb.AddLoop("f#0", fn)
+		n := len(times)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		s := &Stream{Table: tb}
+		for i := 0; i < n; i++ {
+			k := Read
+			if kinds[i] {
+				k = Write
+			}
+			s.Accesses = append(s.Accesses, Access{
+				Time: times[i], Addr: addrs[i], Size: 8,
+				Thread: int32(i % 32), Region: lp, Kind: k,
+			})
+		}
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Accesses) != len(s.Accesses) {
+			return false
+		}
+		for i := range got.Accesses {
+			if got.Accesses[i] != s.Accesses[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a trace file....."))); err == nil {
+		t.Error("garbage input must fail")
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input must fail")
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	a := Access{Time: 5, Thread: 2, Kind: Write, Addr: 0x40, Size: 8, Region: 1}
+	if got := a.String(); got == "" {
+		t.Error("empty String()")
+	}
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Error("Kind.String mismatch")
+	}
+	if FuncRegion.String() != "func" || LoopRegion.String() != "loop" {
+		t.Error("RegionKind.String mismatch")
+	}
+}
+
+func TestDecodeHugeCountHeaderDoesNotOOM(t *testing.T) {
+	// Regression for a fuzz finding: a header claiming ~4e9 accesses must
+	// fail with a read error, not preallocate gigabytes.
+	hdr := []byte("TMPC\x01\x00\x00\x00\x00\x00\x00\x00\xf1\xff\xff\xff")
+	if _, err := Decode(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("truncated huge-count stream accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package commprof
+
+import (
+	"fmt"
+	"io"
+
+	"commprof/internal/detect"
+	"commprof/internal/exec"
+	"commprof/internal/sig"
+	"commprof/internal/splash"
+	"commprof/internal/trace"
+)
+
+// Record profiles the named bundled workload while also recording its full
+// access trace (with the static region table) to w in the binary trace
+// format, for later offline analysis with Replay. This is the workflow the
+// paper contrasts with on-the-fly analysis: trace files grow with execution
+// length — the radix simlarge trace is tens of MB where the live profiler's
+// signature stays fixed — which is precisely why DiscoPoP analyses online.
+func Record(opts Options, w io.Writer) (*Report, error) {
+	opts.setDefaults()
+	size, err := splash.ParseSize(opts.InputSize)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := splash.New(opts.Workload, splash.Config{
+		Threads: opts.Threads, Size: size, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	backend, err := sig.NewAsymmetric(sig.Options{
+		Slots: opts.SignatureSlots, Threads: opts.Threads, FPRate: opts.BloomFPRate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d, err := detect.New(detect.Options{Threads: opts.Threads, Backend: backend, Table: prog.Table()})
+	if err != nil {
+		return nil, err
+	}
+	stream := &trace.Stream{Table: prog.Table()}
+	probe := func(a trace.Access) {
+		stream.Accesses = append(stream.Accesses, a)
+		d.Process(a)
+	}
+	// Recording requires the deterministic engine: a parallel run would
+	// append to the stream concurrently and lose the temporal order.
+	eng := exec.New(exec.Options{Threads: opts.Threads, Probe: probe})
+	stats, err := prog.Run(eng)
+	if err != nil {
+		return nil, err
+	}
+	if err := stream.Encode(w); err != nil {
+		return nil, fmt.Errorf("commprof: write trace: %w", err)
+	}
+	return buildReport(opts.Workload, opts.Threads, d, stats, backend.FootprintBytes())
+}
+
+// Replay runs the profiler offline over a trace previously written by
+// Record. threads must match the recording's thread count (the matrix
+// dimension); it is validated against the trace contents.
+func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
+	opts.setDefaults()
+	if threads <= 0 {
+		return nil, fmt.Errorf("commprof: threads must be positive, got %d", threads)
+	}
+	stream, err := trace.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	var stats exec.Stats
+	for i, a := range stream.Accesses {
+		if a.Thread < 0 || int(a.Thread) >= threads {
+			return nil, fmt.Errorf("commprof: trace access %d has thread %d, outside [0,%d)", i, a.Thread, threads)
+		}
+		stats.Accesses++
+		if a.Kind == trace.Write {
+			stats.Writes++
+		} else {
+			stats.Reads++
+		}
+	}
+	backend, err := sig.NewAsymmetric(sig.Options{
+		Slots: opts.SignatureSlots, Threads: threads, FPRate: opts.BloomFPRate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d, err := detect.New(detect.Options{Threads: threads, Backend: backend, Table: stream.Table})
+	if err != nil {
+		return nil, err
+	}
+	d.ProcessStream(stream.Accesses)
+	return buildReport("replay", threads, d, stats, backend.FootprintBytes())
+}

@@ -1,0 +1,105 @@
+package commprof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	live, err := Record(Options{Workload: "fft", Threads: 8}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty trace written")
+	}
+	replayed, err := Replay(&buf, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offline analysis of the recorded stream must reproduce the live run's
+	// results exactly (same temporal order, same signature configuration).
+	if replayed.Dependencies != live.Dependencies || replayed.CommBytes != live.CommBytes {
+		t.Fatalf("replay diverged: %d/%d deps, %d/%d bytes",
+			replayed.Dependencies, live.Dependencies, replayed.CommBytes, live.CommBytes)
+	}
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if replayed.Global.Bytes[s][d] != live.Global.Bytes[s][d] {
+				t.Fatalf("cell (%d,%d) differs: %d vs %d", s, d, replayed.Global.Bytes[s][d], live.Global.Bytes[s][d])
+			}
+		}
+	}
+	// Region structure survives the codec.
+	if len(replayed.Regions) != len(live.Regions) {
+		t.Fatalf("regions %d vs %d", len(replayed.Regions), len(live.Regions))
+	}
+	// The trace grows with execution length — the property the paper holds
+	// against offline tools. ~29 bytes per access plus table.
+	if uint64(buf.Cap()) < live.Accesses*20 {
+		t.Fatalf("trace suspiciously small: %d bytes for %d accesses", buf.Cap(), live.Accesses)
+	}
+}
+
+func TestRecordErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Record(Options{Workload: "nosuch"}, &buf); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := Record(Options{Workload: "fft", InputSize: "xxl"}, &buf); err == nil {
+		t.Error("bad size accepted")
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	if _, err := Replay(strings.NewReader("garbage"), 4, Options{}); err == nil {
+		t.Error("garbage trace accepted")
+	}
+	var buf bytes.Buffer
+	if _, err := Record(Options{Workload: "fft", Threads: 8}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(&buf, 0, Options{}); err == nil {
+		t.Error("zero threads accepted")
+	}
+	// Thread count smaller than the recording's: accesses reference
+	// out-of-range threads.
+	var buf2 bytes.Buffer
+	if _, err := Record(Options{Workload: "fft", Threads: 8}, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(&buf2, 4, Options{}); err == nil {
+		t.Error("trace with out-of-range threads accepted")
+	}
+}
+
+func TestProfileWithSampling(t *testing.T) {
+	full, err := Profile(Options{Workload: "ocean_cp", Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := Profile(Options{Workload: "ocean_cp", Threads: 8, SampleBurst: 1, SamplePeriod: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.SampleFraction != 1 || sampled.SampleFraction != 0.25 {
+		t.Fatalf("fractions: %v, %v", full.SampleFraction, sampled.SampleFraction)
+	}
+	if sampled.Dependencies >= full.Dependencies {
+		t.Fatalf("sampling did not reduce detected deps: %d vs %d", sampled.Dependencies, full.Dependencies)
+	}
+	// Rescaled volume in the right ballpark.
+	est := float64(sampled.CommBytes) / sampled.SampleFraction
+	truth := float64(full.CommBytes)
+	if est < 0.5*truth || est > 1.6*truth {
+		t.Fatalf("scaled estimate %v vs truth %v", est, truth)
+	}
+}
+
+func TestProfileSamplingValidation(t *testing.T) {
+	if _, err := Profile(Options{Workload: "fft", Threads: 4, SampleBurst: 5, SamplePeriod: 4}); err == nil {
+		t.Error("burst > period accepted")
+	}
+}

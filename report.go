@@ -1,0 +1,192 @@
+package commprof
+
+import (
+	"fmt"
+	"strings"
+
+	"commprof/internal/comm"
+	"commprof/internal/patterns"
+)
+
+// Matrix is the public communication matrix: Bytes[src][dst] holds the bytes
+// thread dst read that thread src last wrote.
+type Matrix struct {
+	N     int
+	Bytes [][]uint64
+}
+
+func fromInternal(m *comm.Matrix) Matrix {
+	return Matrix{N: m.N(), Bytes: m.Rows()}
+}
+
+func (m Matrix) toInternal() (*comm.Matrix, error) {
+	if len(m.Bytes) != m.N {
+		return nil, fmt.Errorf("commprof: matrix declares N=%d but has %d rows", m.N, len(m.Bytes))
+	}
+	for i, row := range m.Bytes {
+		if len(row) != m.N {
+			return nil, fmt.Errorf("commprof: matrix row %d has %d columns, want %d", i, len(row), m.N)
+		}
+	}
+	return comm.FromRows(m.Bytes)
+}
+
+// Total returns the summed communication volume in bytes.
+func (m Matrix) Total() uint64 {
+	var t uint64
+	for _, row := range m.Bytes {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// ThreadLoad computes the paper's Eq. 1 per-thread load vector:
+// row sum / thread count.
+func (m Matrix) ThreadLoad() []float64 {
+	out := make([]float64, m.N)
+	for s, row := range m.Bytes {
+		var sum uint64
+		for _, v := range row {
+			sum += v
+		}
+		out[s] = float64(sum) / float64(m.N)
+	}
+	return out
+}
+
+// Heatmap renders the matrix as an ASCII intensity map.
+func (m Matrix) Heatmap() string {
+	im, err := m.toInternal()
+	if err != nil {
+		return fmt.Sprintf("<invalid matrix: %v>", err)
+	}
+	return im.Heatmap()
+}
+
+// CSV renders the matrix as comma-separated rows.
+func (m Matrix) CSV() string {
+	var b strings.Builder
+	for _, row := range m.Bytes {
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RegionReport is one node of the nested communication structure, in
+// depth-first order.
+type RegionReport struct {
+	Name            string
+	Kind            string // "func" or "loop"
+	Depth           int
+	Accesses        uint64
+	OwnBytes        uint64 // traffic attributed directly to the region
+	CumulativeBytes uint64 // own + all children (the paper's summation law)
+	Matrix          Matrix // cumulative matrix
+}
+
+// HotspotReport ranks a loop by its share of total communication and carries
+// its Eq. 1 load vector.
+type HotspotReport struct {
+	Region        string
+	Bytes         uint64
+	Share         float64
+	Load          []float64
+	ActiveThreads int
+	BalanceIndex  float64
+}
+
+// PhaseReport is one detected communication phase (§V-A4).
+type PhaseReport struct {
+	Start, End uint64 // logical-time interval
+	Matrix     Matrix
+}
+
+// Report is the result of one profiling run.
+type Report struct {
+	Workload       string
+	Threads        int
+	Accesses       uint64
+	Dependencies   uint64 // inter-thread RAW dependencies detected
+	CommBytes      uint64
+	SignatureBytes uint64 // profiler analysis memory actually held
+	// SampleFraction is the analysed fraction of reads (1.0 without
+	// sampling); detected volumes scale by roughly this factor.
+	SampleFraction float64
+	Global         Matrix
+	Regions        []RegionReport
+	Hotspots       []HotspotReport
+	Phases         []PhaseReport
+}
+
+// Summary renders a human-readable overview.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s: %d threads, %d accesses, %d inter-thread RAW deps, %d bytes communicated\n",
+		r.Workload, r.Threads, r.Accesses, r.Dependencies, r.CommBytes)
+	fmt.Fprintf(&b, "profiler memory: %.1f KB\n\n", float64(r.SignatureBytes)/1024)
+	b.WriteString("region tree:\n")
+	for _, reg := range r.Regions {
+		fmt.Fprintf(&b, "%s%s %s: own=%dB cum=%dB accesses=%d\n",
+			strings.Repeat("  ", reg.Depth), reg.Kind, reg.Name, reg.OwnBytes, reg.CumulativeBytes, reg.Accesses)
+	}
+	b.WriteString("\nhotspots:\n")
+	for i, h := range r.Hotspots {
+		fmt.Fprintf(&b, "%d. %s: %d bytes (%.1f%%), %d/%d threads active, balance %.2f\n",
+			i+1, h.Region, h.Bytes, 100*h.Share, h.ActiveThreads, r.Threads, h.BalanceIndex)
+	}
+	if len(r.Phases) > 0 {
+		b.WriteString("\nphases:\n")
+		for i, p := range r.Phases {
+			fmt.Fprintf(&b, "%d. t=[%d,%d) volume=%dB\n", i+1, p.Start, p.End, p.Matrix.Total())
+		}
+	}
+	return b.String()
+}
+
+// PatternClassifier assigns parallel-pattern classes to matrices. Build one
+// with NewPatternClassifier; it is safe for concurrent use after creation.
+type PatternClassifier struct {
+	knn *patterns.KNN
+}
+
+// NewPatternClassifier trains the default kNN classifier on the canonical
+// pattern corpus (§VI). seed controls corpus generation.
+func NewPatternClassifier(seed int64) (*PatternClassifier, error) {
+	rng := newSeededRand(seed)
+	train := patterns.Corpus(60, []int{8, 16, 32}, 0, rng)
+	knn, err := patterns.NewKNN(5, train)
+	if err != nil {
+		return nil, err
+	}
+	return &PatternClassifier{knn: knn}, nil
+}
+
+// Classify names the parallel pattern of a communication matrix: one of
+// linear-algebra, spectral, n-body, structured-grid, master-worker, pipeline
+// or barrier.
+func (c *PatternClassifier) Classify(m Matrix) (string, error) {
+	im, err := m.toInternal()
+	if err != nil {
+		return "", err
+	}
+	return patterns.ClassifyMatrix(c.knn, im).String(), nil
+}
+
+// ClassifyWithFamily additionally names the paper's §VI top-level family of
+// the detected pattern: computational, architectural or synchronization.
+func (c *PatternClassifier) ClassifyWithFamily(m Matrix) (class, family string, err error) {
+	im, err := m.toInternal()
+	if err != nil {
+		return "", "", err
+	}
+	cl := patterns.ClassifyMatrix(c.knn, im)
+	return cl.String(), patterns.FamilyOf(cl).String(), nil
+}
