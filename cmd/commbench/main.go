@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"commprof/internal/experiments"
+	"commprof/internal/obs"
 	"commprof/internal/sig"
 	"commprof/internal/splash"
 )
@@ -174,6 +175,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		threads = fs.Int("threads", 32, "simulated thread count")
 		seed    = fs.Int64("seed", 42, "workload random seed")
 		slots   = fs.Uint64("sig", 1<<20, "signature slots for non-sweep experiments")
+		telem   = fs.Bool("telemetry", false, "collect harness self-observability metrics and print a Prometheus-text dump after the run")
+		telAddr = fs.String("telemetry-addr", "", "serve live /metrics, /metrics.json and /progress on this address during the sweep (e.g. :9090, :0 picks a port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -196,6 +199,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	env.Seed = *seed
 	env.SigSlots = *slots
 
+	var (
+		reg    *obs.Registry
+		tracer *obs.Tracer
+		done   = new(int)
+	)
+	if *telem || *telAddr != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer()
+		env.Probes = obs.DefaultProbes(reg)
+		if *telAddr != "" {
+			srv, err := obs.Serve(*telAddr, reg, tracer, func() any {
+				return map[string]any{
+					"phase":           tracer.Current(),
+					"experimentsDone": *done,
+				}
+			})
+			if err != nil {
+				fmt.Fprintln(stderr, "commbench:", err)
+				return 1
+			}
+			defer srv.Close()
+			fmt.Fprintf(stderr, "commbench: serving telemetry on http://%s/metrics (live snapshot at /progress)\n", srv.Addr())
+		}
+	}
+
 	var selected []string
 	switch *exp {
 	case "":
@@ -211,12 +239,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		selected = []string{*exp}
 	}
 	for _, id := range selected {
+		span := tracer.Start("exp:" + id)
 		out, err := runners[id](env)
+		span.End()
 		if err != nil {
 			fmt.Fprintf(stderr, "commbench: %s: %v\n", id, err)
 			return 1
 		}
+		*done++
 		fmt.Fprintf(stdout, "==== %s ====\n%s\n", id, out)
+	}
+	if *telem {
+		fmt.Fprintln(stdout, "-- telemetry (Prometheus text format) --")
+		if err := obs.WriteProm(stdout, reg); err != nil {
+			fmt.Fprintln(stderr, "commbench:", err)
+			return 1
+		}
 	}
 	return 0
 }

@@ -110,6 +110,32 @@ func TestQueueExperiment(t *testing.T) {
 	}
 }
 
+func TestTelemetryFlag(t *testing.T) {
+	code, out, errOut := runCLI(t, "-exp", "fig8", "-threads", "8", "-telemetry")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{
+		"-- telemetry (Prometheus text format) --",
+		"# TYPE detect_events_total counter",
+		"exec_quantum_switches_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("telemetry dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTelemetryAddrFlag(t *testing.T) {
+	code, _, errOut := runCLI(t, "-exp", "eq2", "-telemetry-addr", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "serving telemetry on http://127.0.0.1:") {
+		t.Errorf("serving notice missing from stderr: %q", errOut)
+	}
+}
+
 func TestPhasesExperiment(t *testing.T) {
 	code, out, errOut := runCLI(t, "-exp", "phases", "-threads", "8")
 	if code != 0 {

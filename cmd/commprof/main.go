@@ -48,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		gran     = fs.Uint("granularity", 0, "analysis granularity in address bits (0 = per address, 6 = 64B lines)")
 		record   = fs.String("record", "", "also write the access trace to this file")
 		replay   = fs.String("replay", "", "analyse a recorded trace file instead of running a benchmark")
+		telem    = fs.Bool("telemetry", false, "collect profiler self-observability metrics and print a Prometheus-text dump after the run")
+		telAddr  = fs.String("telemetry-addr", "", "serve live /metrics, /metrics.json and /progress on this address during the run (e.g. :9090, :0 picks a port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,6 +75,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *sample > 0 {
 		opts.SampleBurst, opts.SamplePeriod = 1, uint32(*sample)
+	}
+	var tel *commprof.Telemetry
+	if *telem || *telAddr != "" {
+		tel = commprof.NewTelemetry()
+		opts.Telemetry = tel
+		if *telAddr != "" {
+			addr, err := tel.Serve(*telAddr)
+			if err != nil {
+				fmt.Fprintln(stderr, "commprof:", err)
+				return 1
+			}
+			defer tel.Close()
+			fmt.Fprintf(stderr, "commprof: serving telemetry on http://%s/metrics (live snapshot at /progress)\n", addr)
+		}
 	}
 
 	var rep *commprof.Report
@@ -142,6 +158,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "\npattern class: %s\n", class)
+	}
+	if *telem {
+		fmt.Fprintln(stdout, "\n-- telemetry (Prometheus text format) --")
+		if err := tel.WriteProm(stdout); err != nil {
+			fmt.Fprintln(stderr, "commprof:", err)
+			return 1
+		}
 	}
 	return 0
 }

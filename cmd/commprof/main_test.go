@@ -141,6 +141,58 @@ func TestAppAllSummary(t *testing.T) {
 	}
 }
 
+func TestTelemetryFlag(t *testing.T) {
+	code, out, errOut := runCLI(t, "-app", "fft", "-threads", "8", "-telemetry")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{
+		"-- telemetry (Prometheus text format) --",
+		"# TYPE detect_events_total counter",
+		"exec_logical_clock",
+		"sig_slot_occupancy",
+		"detect_event_bytes_bucket",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("telemetry dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTelemetryAddrFlag(t *testing.T) {
+	code, out, errOut := runCLI(t, "-app", "fft", "-threads", "8", "-telemetry", "-telemetry-addr", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "serving telemetry on http://127.0.0.1:") {
+		t.Errorf("serving notice missing from stderr: %q", errOut)
+	}
+	if !strings.Contains(out, "detect_events_total") {
+		t.Errorf("telemetry dump missing:\n%s", out)
+	}
+}
+
+func TestTelemetryJSONOutput(t *testing.T) {
+	code, out, errOut := runCLI(t, "-app", "fft", "-threads", "8", "-telemetry", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var rep map[string]any
+	if err := jsonUnmarshal(out, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	tel, ok := rep["Telemetry"].(map[string]any)
+	if !ok {
+		t.Fatalf("Telemetry missing from JSON report: %v", rep["Telemetry"])
+	}
+	if _, ok := tel["Counters"].(map[string]any); !ok {
+		t.Fatalf("Telemetry.Counters missing: %v", tel)
+	}
+	if _, ok := tel["Spans"]; !ok {
+		t.Fatal("Telemetry.Spans missing")
+	}
+}
+
 func TestGranularityFlag(t *testing.T) {
 	code, _, errOut := runCLI(t, "-app", "ocean_cp", "-threads", "8", "-granularity", "6")
 	if code != 0 {

@@ -40,13 +40,19 @@ type Options struct {
 	Threads int
 	// InputSize is "simdev", "simsmall" or "simlarge" (default "simdev").
 	InputSize string
-	// Seed drives all workload randomness (default 42).
+	// Seed drives all workload randomness. The zero value is a sentinel
+	// meaning "unset" and is rewritten to the default 42 by setDefaults, so
+	// an explicit Seed: 0 cannot be distinguished from leaving the field
+	// empty — both run with seed 42. Pick any other value to seed
+	// explicitly.
 	Seed int64
 	// SignatureSlots is the signature size n (default 2^20). Larger means
 	// fewer false dependencies and more memory (Eq. 2).
 	SignatureSlots uint64
-	// BloomFPRate is the per-slot bloom-filter false-positive rate
-	// (default 0.001, the paper's setting).
+	// BloomFPRate is the per-slot bloom-filter false-positive rate. The
+	// zero value is a sentinel meaning "unset" and becomes the paper's
+	// 0.001; an explicit 0 is not a valid rate (sig rejects rates outside
+	// (0,1)), so the sentinel loses no expressible configuration.
 	BloomFPRate float64
 	// PhaseWindow, when non-zero, enables phase segmentation with the given
 	// logical-time window length.
@@ -67,6 +73,14 @@ type Options struct {
 	// signature collisions but merges neighbouring variables (false
 	// sharing appears).
 	GranularityBits uint
+	// MaxHotspots caps the number of ranked hotspot loops in the report.
+	// 0 means the default of 10; a negative value lifts the cap entirely.
+	MaxHotspots int
+	// Telemetry, when non-nil, threads self-observability probes through
+	// the signature, detector and executor layers, records run-phase spans,
+	// and attaches an end-of-run snapshot as Report.Telemetry. See
+	// NewTelemetry. Nil (the default) keeps the pipeline uninstrumented.
+	Telemetry *Telemetry
 }
 
 func (o *Options) setDefaults() {
@@ -85,6 +99,9 @@ func (o *Options) setDefaults() {
 	if o.BloomFPRate == 0 {
 		o.BloomFPRate = 0.001
 	}
+	if o.MaxHotspots == 0 {
+		o.MaxHotspots = 10
+	}
 }
 
 // Workloads returns the names of the bundled SPLASH-2-style benchmarks.
@@ -99,6 +116,8 @@ func SignatureMemoryBytes(slots uint64, threads int, fpRate float64) uint64 {
 // Profile runs the named bundled workload under the profiler.
 func Profile(opts Options) (*Report, error) {
 	opts.setDefaults()
+	tel := opts.Telemetry
+	setup := tel.span("workload-setup")
 	size, err := splash.ParseSize(opts.InputSize)
 	if err != nil {
 		return nil, err
@@ -109,8 +128,10 @@ func Profile(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	probes := tel.probes()
 	backend, err := sig.NewAsymmetric(sig.Options{
 		Slots: opts.SignatureSlots, Threads: opts.Threads, FPRate: opts.BloomFPRate,
+		Probes: probes.SigProbes(),
 	})
 	if err != nil {
 		return nil, err
@@ -119,6 +140,7 @@ func Profile(opts Options) (*Report, error) {
 	dopts := detect.Options{
 		Threads: opts.Threads, Backend: backend, Table: prog.Table(),
 		GranularityBits: opts.GranularityBits,
+		Probes:          probes.DetectProbes(),
 	}
 	if opts.PhaseWindow > 0 && !opts.Parallel {
 		seg, err = metrics.NewPhaseSegmenter(opts.Threads, opts.PhaseWindow, 0.7)
@@ -133,20 +155,28 @@ func Profile(opts Options) (*Report, error) {
 	}
 	probe := d.Probe()
 	sampleFraction := 1.0
+	var smp *detect.Sampler
 	if opts.SamplePeriod > 0 {
-		smp, err := detect.NewSampler(d, opts.SampleBurst, opts.SamplePeriod)
+		smp, err = detect.NewSampler(d, opts.SampleBurst, opts.SamplePeriod)
 		if err != nil {
 			return nil, err
 		}
 		probe = smp.Probe()
 		sampleFraction = smp.SampleFraction()
 	}
-	eng := exec.New(exec.Options{Threads: opts.Threads, Probe: probe, Parallel: opts.Parallel})
+	eng := exec.New(exec.Options{
+		Threads: opts.Threads, Probe: probe, Parallel: opts.Parallel,
+		Probes: probes.EngineProbes(),
+	})
+	tel.wireRun(eng, d, backend, smp)
+	setup.End()
+	run := tel.span("engine-run")
 	stats, err := prog.Run(eng)
+	run.End()
 	if err != nil {
 		return nil, err
 	}
-	rep, err := buildReport(opts.Workload, opts.Threads, d, stats, backend.FootprintBytes())
+	rep, tree, err := buildReport(opts.Workload, opts.Threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, tel)
 	if err != nil {
 		return nil, err
 	}
@@ -158,17 +188,22 @@ func Profile(opts Options) (*Report, error) {
 			})
 		}
 	}
+	tel.finishRun(rep, tree)
 	return rep, nil
 }
 
-func buildReport(name string, threads int, d *detect.Detector, stats exec.Stats, sigBytes uint64) (*Report, error) {
+func buildReport(name string, threads int, d *detect.Detector, stats exec.Stats, sigBytes uint64, maxHotspots int, tel *Telemetry) (*Report, *comm.Tree, error) {
+	build := tel.span("tree-build")
 	tree, err := d.Tree()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := tree.CheckSummationLaw(); err != nil {
-		return nil, fmt.Errorf("commprof: internal invariant violated: %w", err)
+		return nil, nil, fmt.Errorf("commprof: internal invariant violated: %w", err)
 	}
+	build.End()
+	report := tel.span("report")
+	defer report.End()
 	dstats := d.Stats()
 	rep := &Report{
 		Workload:       name,
@@ -191,7 +226,10 @@ func buildReport(name string, threads int, d *detect.Detector, stats exec.Stats,
 			Matrix:          fromInternal(n.Cumulative),
 		})
 	})
-	for _, h := range tree.Hotspots(10) {
+	if maxHotspots < 0 {
+		maxHotspots = tree.NodeCount() // negative lifts the cap: rank every loop
+	}
+	for _, h := range tree.Hotspots(maxHotspots) {
 		load := metrics.ThreadLoad(h.Node.Cumulative)
 		rep.Hotspots = append(rep.Hotspots, HotspotReport{
 			Region:        h.Node.Region.Name,
@@ -202,5 +240,5 @@ func buildReport(name string, threads int, d *detect.Detector, stats exec.Stats,
 			BalanceIndex:  metrics.BalanceIndex(load),
 		})
 	}
-	return rep, nil
+	return rep, tree, nil
 }

@@ -89,7 +89,8 @@ func ProfileTrace(accesses []Access, regions []Region, threads int, opts Options
 			Thread: a.Thread, Region: a.Region, Kind: k,
 		})
 	}
-	return buildReport("trace", threads, d, stats, backend.FootprintBytes())
+	rep, _, err := buildReport("trace", threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, nil)
+	return rep, err
 }
 
 // Thread is the handle a custom workload body uses inside Run: it mirrors
@@ -149,22 +150,39 @@ func Run(threads int, regions []Region, body func(*Thread), opts Options) (*Repo
 	if err := table.Validate(); err != nil {
 		return nil, fmt.Errorf("commprof: invalid region list: %w", err)
 	}
+	tel := opts.Telemetry
+	probes := tel.probes()
 	backend, err := sig.NewAsymmetric(sig.Options{
 		Slots: opts.SignatureSlots, Threads: threads, FPRate: opts.BloomFPRate,
+		Probes: probes.SigProbes(),
 	})
 	if err != nil {
 		return nil, err
 	}
-	d, err := detect.New(detect.Options{Threads: threads, Backend: backend, Table: table})
+	d, err := detect.New(detect.Options{
+		Threads: threads, Backend: backend, Table: table,
+		Probes: probes.DetectProbes(),
+	})
 	if err != nil {
 		return nil, err
 	}
-	eng := exec.New(exec.Options{Threads: threads, Probe: d.Probe(), Parallel: opts.Parallel})
+	eng := exec.New(exec.Options{
+		Threads: threads, Probe: d.Probe(), Parallel: opts.Parallel,
+		Probes: probes.EngineProbes(),
+	})
+	tel.wireRun(eng, d, backend, nil)
+	run := tel.span("engine-run")
 	stats, err := eng.Run(func(et *exec.Thread) { body(&Thread{t: et}) })
+	run.End()
 	if err != nil {
 		return nil, err
 	}
-	return buildReport("custom", threads, d, stats, backend.FootprintBytes())
+	rep, tree, err := buildReport("custom", threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, tel)
+	if err != nil {
+		return nil, err
+	}
+	tel.finishRun(rep, tree)
+	return rep, nil
 }
 
 // newSeededRand isolates math/rand construction so the facade has a single

@@ -73,6 +73,9 @@ func BuildTree(table *trace.Table, own []*Matrix, accesses []uint64, global, out
 	return t, nil
 }
 
+// NodeCount returns the number of regions in the tree (telemetry).
+func (t *Tree) NodeCount() int { return len(t.nodes) }
+
 // Node returns the tree node for a region ID.
 func (t *Tree) Node(id int32) (*Node, bool) {
 	n, ok := t.nodes[id]

@@ -25,6 +25,7 @@ import (
 
 	"commprof/internal/comm"
 	"commprof/internal/exec"
+	"commprof/internal/obs"
 	"commprof/internal/sig"
 	"commprof/internal/trace"
 )
@@ -59,6 +60,10 @@ type Options struct {
 	// shrinks the effective working set (fewer collisions at equal slots)
 	// but merges neighbouring variables, which manufactures false sharing.
 	GranularityBits uint
+	// Probes, when non-nil, receives self-observability telemetry (event
+	// counts and sizes, stale-writer drops). Nil keeps the hot path
+	// uninstrumented at the cost of one nil check per hook site.
+	Probes *obs.DetectProbes
 }
 
 // Detector consumes accesses in temporal order and accumulates communication
@@ -121,11 +126,18 @@ func (d *Detector) Process(a trace.Access) (Event, bool) {
 	if int(writer) >= d.opts.Threads {
 		// A collision-corrupted slot can, in principle, surface a stale
 		// writer ID from a previous configuration; drop it defensively.
+		if p := d.opts.Probes; p != nil {
+			p.StaleWriterDrops.Inc()
+		}
 		return Event{}, false
 	}
 	ev := Event{Time: a.Time, Writer: writer, Reader: a.Thread, Bytes: a.Size, Region: a.Region}
 	d.detected.Add(1)
 	d.commBytes.Add(uint64(a.Size))
+	if p := d.opts.Probes; p != nil {
+		p.Events.Inc()
+		p.EventBytes.Observe(uint64(a.Size))
+	}
 	d.global.Add(writer, a.Thread, uint64(a.Size))
 	if d.perRegion != nil {
 		if a.Region != trace.NoRegion && int(a.Region) < len(d.perRegion) {

@@ -3,6 +3,7 @@ package detect
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"commprof/internal/comm"
 	"commprof/internal/trace"
@@ -27,7 +28,9 @@ type Sampler struct {
 	// Per-thread read counters; sized at construction.
 	phase []uint32
 
-	skipped uint64 // aggregate, maintained only in deterministic runs
+	// skipped is atomic so a live telemetry snapshot can read it while the
+	// run is in flight (and so parallel runs stay race-clean).
+	skipped atomic.Uint64
 }
 
 // NewSampler wraps d so that burst of every period reads are analysed.
@@ -53,7 +56,7 @@ func (s *Sampler) Process(a trace.Access) (Event, bool) {
 	p := s.phase[a.Thread]
 	s.phase[a.Thread] = (p + 1) % s.period
 	if p >= s.burst {
-		s.skipped++
+		s.skipped.Add(1)
 		return Event{}, false
 	}
 	return s.d.Process(a)
@@ -61,7 +64,7 @@ func (s *Sampler) Process(a trace.Access) (Event, bool) {
 
 // Probe adapts the sampler to the executor hook. In parallel engine mode the
 // per-thread phase counters are only touched by their own thread, so this is
-// safe; the skipped counter is approximate there.
+// safe.
 func (s *Sampler) Probe() func(trace.Access) {
 	return func(a trace.Access) { s.Process(a) }
 }
@@ -69,8 +72,9 @@ func (s *Sampler) Probe() func(trace.Access) {
 // Detector returns the wrapped detector.
 func (s *Sampler) Detector() *Detector { return s.d }
 
-// Skipped reports how many reads bypassed analysis.
-func (s *Sampler) Skipped() uint64 { return s.skipped }
+// Skipped reports how many reads bypassed analysis. Safe to call while a run
+// is in flight.
+func (s *Sampler) Skipped() uint64 { return s.skipped.Load() }
 
 // SampleFraction returns the configured analysed fraction of reads.
 func (s *Sampler) SampleFraction() float64 {

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"commprof/internal/obs"
 	"commprof/internal/trace"
 )
 
@@ -39,6 +40,10 @@ type Options struct {
 	Quantum  int   // deterministic mode: accesses per scheduling turn; default 64
 	Parallel bool  // run threads as free goroutines instead of round-robin
 	Probe    Probe // may be nil (uninstrumented "native" run)
+	// Probes, when non-nil, receives scheduler telemetry (quantum switches,
+	// barrier/lock wait episodes). Nil keeps the uninstrumented path
+	// allocation-free at the cost of one nil check per hook site.
+	Probes *obs.EngineProbes
 }
 
 // Stats summarises an engine run.
@@ -66,12 +71,15 @@ type Engine struct {
 
 	clock atomic.Uint64
 
+	// threads is allocated at New (not Run) so live-introspection readers
+	// can snapshot per-thread progress without racing on the slice itself.
+	threads []*Thread
+
 	// Deterministic-mode scheduler state (owned by the scheduler goroutine
 	// between yields).
-	threads       []*Thread
 	yieldCh       chan int32
 	locks         map[int]int32 // lock id -> holding thread, absent/-1 when free
-	barrierEpochs uint64
+	barrierEpochs atomic.Uint64
 
 	// Parallel-mode state.
 	parMu      sync.Mutex
@@ -91,12 +99,25 @@ func New(opts Options) *Engine {
 	if opts.Quantum <= 0 {
 		opts.Quantum = 64
 	}
-	return &Engine{
+	e := &Engine{
 		opts:     opts,
 		yieldCh:  make(chan int32),
 		locks:    map[int]int32{},
 		parLocks: map[int]*sync.Mutex{},
 	}
+	e.threads = make([]*Thread, opts.Threads)
+	for i := range e.threads {
+		e.threads[i] = &Thread{
+			id:       int32(i),
+			eng:      e,
+			resume:   make(chan struct{}),
+			parallel: opts.Parallel,
+		}
+	}
+	if opts.Parallel {
+		e.parBarrier = newBarrier(opts.Threads)
+	}
+	return e
 }
 
 // Threads returns the configured thread count.
@@ -120,14 +141,6 @@ func (e *Engine) Run(body func(t *Thread)) (Stats, error) {
 
 func (e *Engine) runDeterministic(body func(t *Thread)) (Stats, error) {
 	n := e.opts.Threads
-	e.threads = make([]*Thread, n)
-	for i := 0; i < n; i++ {
-		e.threads[i] = &Thread{
-			id:     int32(i),
-			eng:    e,
-			resume: make(chan struct{}),
-		}
-	}
 	for _, t := range e.threads {
 		go t.main(body)
 	}
@@ -145,6 +158,9 @@ func (e *Engine) runDeterministic(body func(t *Thread)) (Stats, error) {
 				continue
 			}
 			progressed = true
+			if p := e.opts.Probes; p != nil {
+				p.QuantumSwitches.Inc()
+			}
 			t.budget = e.opts.Quantum
 			t.resume <- struct{}{}
 			<-e.yieldCh
@@ -166,7 +182,7 @@ func (e *Engine) runDeterministic(body func(t *Thread)) (Stats, error) {
 						t.state = stRunnable
 					}
 				}
-				e.barrierEpochs++
+				e.barrierEpochs.Add(1)
 				progressed = true
 			}
 		}
@@ -195,25 +211,21 @@ func (e *Engine) failStuckThreads(live int) {
 func (e *Engine) collectStats() Stats {
 	var s Stats
 	for _, t := range e.threads {
-		s.Accesses += t.accesses
-		s.Reads += t.reads
-		s.Writes += t.writes
-		s.WorkUnits += t.work
+		s.Accesses += t.accesses.Load()
+		s.Reads += t.reads.Load()
+		s.Writes += t.writes.Load()
+		s.WorkUnits += t.work.Load()
 	}
-	s.Barriers = e.barrierEpochs
+	s.Barriers = e.BarrierEpochs()
 	s.Clock = e.clock.Load()
 	return s
 }
 
 func (e *Engine) runParallel(body func(t *Thread)) (Stats, error) {
-	n := e.opts.Threads
-	e.parBarrier = newBarrier(n)
-	e.threads = make([]*Thread, n)
 	var wg sync.WaitGroup
 	var panicOnce sync.Once
-	for i := 0; i < n; i++ {
-		t := &Thread{id: int32(i), eng: e, parallel: true}
-		e.threads[i] = t
+	for _, t := range e.threads {
+		t := t
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -228,16 +240,26 @@ func (e *Engine) runParallel(body func(t *Thread)) (Stats, error) {
 		}()
 	}
 	wg.Wait()
-	var s Stats
-	for _, t := range e.threads {
-		s.Accesses += t.accesses
-		s.Reads += t.reads
-		s.Writes += t.writes
-		s.WorkUnits += t.work
+	return e.collectStats(), e.err
+}
+
+// ThreadProgress snapshots each thread's instrumented access count. Safe to
+// call while a run is in flight — this is the per-thread progress feed of
+// the live /progress endpoint.
+func (e *Engine) ThreadProgress() []uint64 {
+	out := make([]uint64, len(e.threads))
+	for i, t := range e.threads {
+		out[i] = t.accesses.Load()
 	}
-	s.Barriers = e.parBarrier.epochs.Load()
-	s.Clock = e.clock.Load()
-	return s, e.err
+	return out
+}
+
+// BarrierEpochs reports completed barrier episodes so far; safe mid-run.
+func (e *Engine) BarrierEpochs() uint64 {
+	if e.opts.Parallel {
+		return e.parBarrier.epochs.Load()
+	}
+	return e.barrierEpochs.Load()
 }
 
 // barrier is a reusable counting barrier for parallel mode.

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"commprof/internal/trace"
 )
@@ -17,11 +18,12 @@ type Thread struct {
 	// Region context: stack of static region IDs (functions/loops).
 	regionStack []int32
 
-	// Counters (owned by this thread; read by the engine after completion).
-	accesses uint64
-	reads    uint64
-	writes   uint64
-	work     uint64
+	// Counters (written only by this thread; atomic so the engine and live
+	// telemetry snapshots can read them while the run is in flight).
+	accesses atomic.Uint64
+	reads    atomic.Uint64
+	writes   atomic.Uint64
+	work     atomic.Uint64
 
 	// Deterministic-mode scheduling.
 	resume   chan struct{}
@@ -86,8 +88,8 @@ func (t *Thread) afterStep(n int) {
 // Read issues an instrumented load of size bytes at addr.
 func (t *Thread) Read(addr uint64, size uint32) {
 	now := t.eng.clock.Add(1)
-	t.accesses++
-	t.reads++
+	t.accesses.Add(1)
+	t.reads.Add(1)
 	if p := t.eng.opts.Probe; p != nil {
 		p(trace.Access{Time: now, Addr: addr, Size: size, Thread: t.id, Region: t.currentRegion(), Kind: trace.Read})
 	}
@@ -97,8 +99,8 @@ func (t *Thread) Read(addr uint64, size uint32) {
 // Write issues an instrumented store of size bytes at addr.
 func (t *Thread) Write(addr uint64, size uint32) {
 	now := t.eng.clock.Add(1)
-	t.accesses++
-	t.writes++
+	t.accesses.Add(1)
+	t.writes.Add(1)
 	if p := t.eng.opts.Probe; p != nil {
 		p(trace.Access{Time: now, Addr: addr, Size: size, Thread: t.id, Region: t.currentRegion(), Kind: trace.Write})
 	}
@@ -112,7 +114,7 @@ func (t *Thread) Work(units int) {
 	if units <= 0 {
 		return
 	}
-	t.work += uint64(units)
+	t.work.Add(uint64(units))
 	t.eng.clock.Add(uint64(units))
 	s := t.spin
 	if s == 0 {
@@ -129,6 +131,9 @@ func (t *Thread) Work(units int) {
 
 // Barrier blocks until every live thread reaches a barrier.
 func (t *Thread) Barrier() {
+	if p := t.eng.opts.Probes; p != nil {
+		p.BarrierWaits.Inc()
+	}
 	if t.parallel {
 		t.eng.parBarrier.wait()
 		return
@@ -148,6 +153,12 @@ func (t *Thread) Acquire(lock int) {
 			t.eng.parLocks[lock] = m
 		}
 		t.eng.parMu.Unlock()
+		if m.TryLock() {
+			return
+		}
+		if p := t.eng.opts.Probes; p != nil {
+			p.LockWaits.Inc()
+		}
 		m.Lock()
 		return
 	}
@@ -159,6 +170,9 @@ func (t *Thread) Acquire(lock int) {
 		}
 		if holder == t.id {
 			panic(fmt.Sprintf("exec: thread %d re-acquired lock %d", t.id, lock))
+		}
+		if p := t.eng.opts.Probes; p != nil {
+			p.LockWaits.Inc()
 		}
 		t.state = stLock
 		t.waitLock = lock

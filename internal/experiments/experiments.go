@@ -11,6 +11,7 @@ import (
 
 	"commprof/internal/detect"
 	"commprof/internal/exec"
+	"commprof/internal/obs"
 	"commprof/internal/sig"
 	"commprof/internal/splash"
 	"commprof/internal/trace"
@@ -36,6 +37,11 @@ type Env struct {
 	// "calibration").
 	NativeLoadNs float64
 	NativeALUNs  float64
+	// Probes, when non-nil, threads self-observability hooks through every
+	// signature/detector/engine the experiment helpers construct, so a live
+	// /metrics endpoint can watch a long commbench sweep. Nil (the default)
+	// keeps experiment runs uninstrumented.
+	Probes *obs.Probes
 }
 
 // DefaultEnv mirrors the paper's §V configuration where possible.
@@ -62,11 +68,17 @@ func (e Env) validate() error {
 // newDetector builds the standard asymmetric-signature detector for a
 // program.
 func (e Env) newDetector(table *trace.Table) (*detect.Detector, *sig.Asymmetric, error) {
-	s, err := sig.NewAsymmetric(sig.Options{Slots: e.SigSlots, Threads: e.Threads, FPRate: e.FPRate})
+	s, err := sig.NewAsymmetric(sig.Options{
+		Slots: e.SigSlots, Threads: e.Threads, FPRate: e.FPRate,
+		Probes: e.Probes.SigProbes(),
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	d, err := detect.New(detect.Options{Threads: e.Threads, Backend: s, Table: table})
+	d, err := detect.New(detect.Options{
+		Threads: e.Threads, Backend: s, Table: table,
+		Probes: e.Probes.DetectProbes(),
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -79,7 +91,7 @@ func (e Env) runProgram(name string, size splash.Size, probe exec.Probe) (splash
 	if err != nil {
 		return nil, exec.Stats{}, err
 	}
-	eng := exec.New(exec.Options{Threads: e.Threads, Probe: probe})
+	eng := exec.New(exec.Options{Threads: e.Threads, Probe: probe, Probes: e.Probes.EngineProbes()})
 	stats, err := prog.Run(eng)
 	if err != nil {
 		return nil, exec.Stats{}, fmt.Errorf("experiments: %s: %w", name, err)
@@ -97,7 +109,7 @@ func (e Env) profile(name string, size splash.Size) (*detect.Detector, splash.Pr
 	if err != nil {
 		return nil, nil, exec.Stats{}, err
 	}
-	eng := exec.New(exec.Options{Threads: e.Threads, Probe: d.Probe()})
+	eng := exec.New(exec.Options{Threads: e.Threads, Probe: d.Probe(), Probes: e.Probes.EngineProbes()})
 	stats, err := prog.Run(eng)
 	if err != nil {
 		return nil, nil, exec.Stats{}, fmt.Errorf("experiments: %s: %w", name, err)
@@ -107,5 +119,5 @@ func (e Env) profile(name string, size splash.Size) (*detect.Detector, splash.Pr
 
 // newEngine builds an executor configured for this environment.
 func newEngine(e Env, probe exec.Probe) *exec.Engine {
-	return exec.New(exec.Options{Threads: e.Threads, Probe: probe})
+	return exec.New(exec.Options{Threads: e.Threads, Probe: probe, Probes: e.Probes.EngineProbes()})
 }

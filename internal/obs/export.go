@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteProm renders every metric in r in the Prometheus text exposition
+// format (text/plain; version 0.0.4): one TYPE line per metric followed by
+// its samples, names sorted for deterministic output. Histograms emit the
+// conventional cumulative _bucket{le=...} series plus _sum and _count.
+func WriteProm(w io.Writer, r *Registry) error {
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.UpperBound, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, h.Count, name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a gauge value; Prometheus accepts NaN/Inf spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteJSON renders a registry snapshot as indented JSON.
+func WriteJSON(w io.Writer, r *Registry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

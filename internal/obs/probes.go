@@ -1,0 +1,98 @@
+package obs
+
+// Per-layer probe bundles. The hot layers (internal/sig, internal/detect,
+// internal/exec) accept one of these as an optional Options field; a nil
+// bundle is the uninstrumented fast path and costs exactly one pointer
+// nil-check at each hook site. Counter/Histogram fields inside a bundle may
+// individually be nil (they are no-ops), so callers can wire any subset.
+
+// SigProbes instruments the asymmetric signature memory.
+type SigProbes struct {
+	// FilterAllocs counts second-level bloom filters allocated (slot
+	// occupancy is FilterAllocs relative to the slot count).
+	FilterAllocs *Counter
+	// CASRetries counts lost filter-allocation CAS races in parallel mode:
+	// a thread built a filter but another thread's install won.
+	CASRetries *Counter
+	// ReaderResets counts write-triggered bloom-filter invalidations
+	// (Fig. 2's communicating-access rule clearing the reader set).
+	ReaderResets *Counter
+}
+
+// DetectProbes instruments the RAW-dependence detector (Algorithm 1).
+type DetectProbes struct {
+	// Events counts detected inter-thread RAW dependencies.
+	Events *Counter
+	// StaleWriterDrops counts events discarded because a collision-corrupted
+	// slot surfaced an out-of-range writer ID.
+	StaleWriterDrops *Counter
+	// EventBytes is the size distribution of detected communication events.
+	EventBytes *Histogram
+}
+
+// EngineProbes instruments the simulated-thread executor.
+type EngineProbes struct {
+	// QuantumSwitches counts deterministic-scheduler turns (one per quantum
+	// handed to a runnable thread).
+	QuantumSwitches *Counter
+	// BarrierWaits counts per-thread barrier wait episodes.
+	BarrierWaits *Counter
+	// LockWaits counts per-thread blocked lock acquisitions.
+	LockWaits *Counter
+}
+
+// Probes bundles every layer's hooks for one profiling run.
+type Probes struct {
+	Sig    *SigProbes
+	Detect *DetectProbes
+	Engine *EngineProbes
+}
+
+// DefaultProbes wires a full probe set into r under the standard metric
+// names. Returns nil (all layers disabled) on a nil registry.
+func DefaultProbes(r *Registry) *Probes {
+	if r == nil {
+		return nil
+	}
+	return &Probes{
+		Sig: &SigProbes{
+			FilterAllocs: r.Counter("sig_filter_allocs_total"),
+			CASRetries:   r.Counter("sig_cas_retries_total"),
+			ReaderResets: r.Counter("sig_reader_resets_total"),
+		},
+		Detect: &DetectProbes{
+			Events:           r.Counter("detect_events_total"),
+			StaleWriterDrops: r.Counter("detect_stale_writer_drops_total"),
+			EventBytes:       r.Histogram("detect_event_bytes"),
+		},
+		Engine: &EngineProbes{
+			QuantumSwitches: r.Counter("exec_quantum_switches_total"),
+			BarrierWaits:    r.Counter("exec_barrier_waits_total"),
+			LockWaits:       r.Counter("exec_lock_waits_total"),
+		},
+	}
+}
+
+// SigProbes returns the signature layer's bundle; nil-safe.
+func (p *Probes) SigProbes() *SigProbes {
+	if p == nil {
+		return nil
+	}
+	return p.Sig
+}
+
+// DetectProbes returns the detector layer's bundle; nil-safe.
+func (p *Probes) DetectProbes() *DetectProbes {
+	if p == nil {
+		return nil
+	}
+	return p.Detect
+}
+
+// EngineProbes returns the executor layer's bundle; nil-safe.
+func (p *Probes) EngineProbes() *EngineProbes {
+	if p == nil {
+		return nil
+	}
+	return p.Engine
+}

@@ -28,6 +28,7 @@ import (
 
 	"commprof/internal/bloom"
 	"commprof/internal/murmur"
+	"commprof/internal/obs"
 )
 
 // NoWriter is returned when an address misses the write signature.
@@ -75,6 +76,10 @@ type Options struct {
 	// §IV-D2); HashFold is a deliberately weaker xor-fold kept for the
 	// hash-quality ablation experiment.
 	Hash HashKind
+	// Probes, when non-nil, receives self-observability telemetry (filter
+	// allocations, CAS retries, reader resets). Nil keeps the hot path
+	// uninstrumented at the cost of one nil check per hook site.
+	Probes *obs.SigProbes
 }
 
 // HashKind selects the signature's slot-addressing hash.
@@ -168,7 +173,13 @@ func (s *Asymmetric) filterAt(slot uint64) *bloom.Filter {
 	nf := bloom.New(s.bloomP, s.opts.SeedRead^slot)
 	if s.read[slot].CompareAndSwap(nil, nf) {
 		s.allocated.Add(1)
+		if p := s.opts.Probes; p != nil {
+			p.FilterAllocs.Inc()
+		}
 		return nf
+	}
+	if p := s.opts.Probes; p != nil {
+		p.CASRetries.Inc()
 	}
 	return s.read[slot].Load()
 }
@@ -190,6 +201,9 @@ func (s *Asymmetric) ObserveWrite(addr uint64, tid int32) {
 	// communicating-access rule).
 	if f := s.read[s.readSlot(addr)].Load(); f != nil {
 		f.Reset()
+		if p := s.opts.Probes; p != nil {
+			p.ReaderResets.Inc()
+		}
 	}
 	s.write[s.writeSlot(addr)].Store(tid + 1)
 }
@@ -222,6 +236,41 @@ func (s *Asymmetric) Reset() {
 
 // AllocatedFilters reports how many second-level bloom filters exist.
 func (s *Asymmetric) AllocatedFilters() uint64 { return s.allocated.Load() }
+
+// Occupancy reports the fraction of read-signature slots whose second-level
+// bloom filter has been allocated — the signature saturation a live
+// telemetry consumer watches to see whether the configured slot count is
+// undersized for the workload's working set.
+func (s *Asymmetric) Occupancy() float64 {
+	return float64(s.allocated.Load()) / float64(s.opts.Slots)
+}
+
+// FillRatio samples up to sample allocated bloom filters (scanning slots
+// from 0) and returns their mean set-bit fraction, the second-level
+// saturation complement to Occupancy. Returns 0 when no filter is allocated.
+// Safe to call concurrently with a run; the result is a racy estimate.
+func (s *Asymmetric) FillRatio(sample int) float64 {
+	if sample <= 0 {
+		sample = 64
+	}
+	var sum float64
+	seen := 0
+	for slot := range s.read {
+		f := s.read[slot].Load()
+		if f == nil {
+			continue
+		}
+		sum += float64(f.PopCount()) / float64(f.Bits())
+		seen++
+		if seen >= sample {
+			break
+		}
+	}
+	if seen == 0 {
+		return 0
+	}
+	return sum / float64(seen)
+}
 
 // SigMem is the paper's Equation 2: the total signature memory in bytes for
 // n slots, t threads and the given bloom false-positive rate,

@@ -55,25 +55,38 @@ func ProfileMiniPar(src string, threads int, onlyFuncs []string, opts Options) (
 	if err != nil {
 		return nil, nil, err
 	}
+	tel := opts.Telemetry
+	probes := tel.probes()
 	backend, err := sig.NewAsymmetric(sig.Options{
 		Slots: opts.SignatureSlots, Threads: threads, FPRate: opts.BloomFPRate,
+		Probes: probes.SigProbes(),
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	d, err := detect.New(detect.Options{Threads: threads, Backend: backend, Table: table})
+	d, err := detect.New(detect.Options{
+		Threads: threads, Backend: backend, Table: table,
+		Probes: probes.DetectProbes(),
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	eng := exec.New(exec.Options{Threads: threads, Probe: d.Probe(), Parallel: opts.Parallel})
+	eng := exec.New(exec.Options{
+		Threads: threads, Probe: d.Probe(), Parallel: opts.Parallel,
+		Probes: probes.EngineProbes(),
+	})
+	tel.wireRun(eng, d, backend, nil)
+	run := tel.span("engine-run")
 	stats, err := rt.Run(eng)
+	run.End()
 	if err != nil {
 		return nil, nil, err
 	}
-	rep, err := buildReport("minipar", threads, d, stats, backend.FootprintBytes())
+	rep, tree, err := buildReport("minipar", threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, tel)
 	if err != nil {
 		return nil, nil, err
 	}
+	tel.finishRun(rep, tree)
 	var outs []MiniParOutput
 	for _, o := range rt.Outputs() {
 		outs = append(outs, MiniParOutput{Thread: o.Thread, Value: o.Value})

@@ -54,7 +54,8 @@ func Record(opts Options, w io.Writer) (*Report, error) {
 	if err := stream.Encode(w); err != nil {
 		return nil, fmt.Errorf("commprof: write trace: %w", err)
 	}
-	return buildReport(opts.Workload, opts.Threads, d, stats, backend.FootprintBytes())
+	rep, _, err := buildReport(opts.Workload, opts.Threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, nil)
+	return rep, err
 }
 
 // Replay runs the profiler offline over a trace previously written by
@@ -92,5 +93,6 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 		return nil, err
 	}
 	d.ProcessStream(stream.Accesses)
-	return buildReport("replay", threads, d, stats, backend.FootprintBytes())
+	rep, _, err := buildReport("replay", threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, nil)
+	return rep, err
 }

@@ -124,6 +124,10 @@ type Report struct {
 	Regions        []RegionReport
 	Hotspots       []HotspotReport
 	Phases         []PhaseReport
+	// Telemetry is the self-observability snapshot of the run (metric
+	// counters/gauges/histograms plus pipeline-phase spans). Nil unless
+	// Options.Telemetry was set.
+	Telemetry *TelemetryReport `json:",omitempty"`
 }
 
 // Summary renders a human-readable overview.

@@ -1,0 +1,30 @@
+#!/bin/sh
+# tier1.sh — the repository's tier-1 verification gate (see ROADMAP.md).
+# Build, formatting, vet, the full test suite, and a race-detector pass over
+# the packages with lock-free hot paths (signature memory) and real
+# concurrency (the parallel engine mode).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (sig, exec) =="
+go test -race ./internal/sig/... ./internal/exec/...
+
+echo "tier1: OK"

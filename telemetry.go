@@ -1,0 +1,261 @@
+package commprof
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"commprof/internal/comm"
+	"commprof/internal/detect"
+	"commprof/internal/exec"
+	"commprof/internal/obs"
+	"commprof/internal/sig"
+)
+
+// Telemetry is the profiler's self-observability handle: a metrics registry
+// plus a run-phase tracer that Profile and Run thread through the signature,
+// detector and executor layers. Create one with NewTelemetry, pass it in
+// Options.Telemetry, and read it three ways:
+//
+//   - Report.Telemetry carries the end-of-run snapshot;
+//   - WriteProm / WriteJSON export the registry at any time;
+//   - Serve exposes live /metrics, /metrics.json and /progress endpoints
+//     over HTTP while a run is in flight.
+//
+// A Telemetry may be reused across runs: counters keep accumulating and the
+// live-introspection sources rebind to the newest run. A nil *Telemetry
+// disables all instrumentation (the hot layers see nil probe bundles).
+type Telemetry struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	start    atomic.Value // time.Time of the current run's wiring
+	progress atomic.Value // func() ProgressSnapshot
+
+	mu     sync.Mutex
+	server *obs.Server
+}
+
+// NewTelemetry returns an empty telemetry handle.
+func NewTelemetry() *Telemetry {
+	t := &Telemetry{reg: obs.NewRegistry(), tracer: obs.NewTracer()}
+	t.start.Store(time.Now())
+	return t
+}
+
+// WriteProm exports every metric in the Prometheus text format.
+func (t *Telemetry) WriteProm(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return obs.WriteProm(w, t.reg)
+}
+
+// WriteJSON exports a registry snapshot as indented JSON.
+func (t *Telemetry) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return obs.WriteJSON(w, t.reg)
+}
+
+// Serve starts an HTTP listener (":0" picks a free port) exposing /metrics,
+// /metrics.json and /progress, and returns the bound address. The server
+// runs until Close.
+func (t *Telemetry) Serve(addr string) (string, error) {
+	if t == nil {
+		return "", fmt.Errorf("commprof: Serve on nil Telemetry")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.server != nil {
+		return "", fmt.Errorf("commprof: telemetry server already running on %s", t.server.Addr())
+	}
+	srv, err := obs.Serve(addr, t.reg, t.tracer, func() any { return t.Progress() })
+	if err != nil {
+		return "", err
+	}
+	t.server = srv
+	return srv.Addr(), nil
+}
+
+// Close stops the HTTP server if one is running.
+func (t *Telemetry) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.server == nil {
+		return nil
+	}
+	err := t.server.Close()
+	t.server = nil
+	return err
+}
+
+// ProgressSnapshot is a live view of a run in flight, served at /progress.
+type ProgressSnapshot struct {
+	// Phase is the pipeline phase currently open in the tracer
+	// (workload-setup, engine-run, tree-build, report), or "" when idle.
+	Phase string `json:"phase"`
+	// ElapsedSeconds is wall time since the run was wired.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Clock is the engine's logical time.
+	Clock uint64 `json:"clock"`
+	// Accesses is the number of accesses the detector has consumed.
+	Accesses uint64 `json:"accesses"`
+	// AccessesPerSec is detection throughput: Accesses / ElapsedSeconds.
+	AccessesPerSec float64 `json:"accesses_per_sec"`
+	// Dependencies and CommBytes mirror the detector's running totals.
+	Dependencies uint64 `json:"dependencies"`
+	CommBytes    uint64 `json:"comm_bytes"`
+	// PerThread is each simulated thread's instrumented access count.
+	PerThread []uint64 `json:"per_thread,omitempty"`
+	// BarrierEpochs counts completed barrier episodes.
+	BarrierEpochs uint64 `json:"barrier_epochs"`
+	// SkippedReads counts reads the sampler bypassed (0 without sampling).
+	SkippedReads uint64 `json:"skipped_reads"`
+	// SigFilters / SigOccupancy / SigFillRatio describe signature
+	// saturation: allocated second-level bloom filters, the fraction of
+	// slots occupied, and the mean fill of a sample of filters.
+	SigFilters   uint64  `json:"sig_filters"`
+	SigOccupancy float64 `json:"sig_occupancy"`
+	SigFillRatio float64 `json:"sig_fill_ratio"`
+}
+
+// Progress returns a point-in-time snapshot of the current (or last) run.
+// Before any run is wired it returns the zero snapshot.
+func (t *Telemetry) Progress() ProgressSnapshot {
+	if t == nil {
+		return ProgressSnapshot{}
+	}
+	if fn, ok := t.progress.Load().(func() ProgressSnapshot); ok {
+		return fn()
+	}
+	return ProgressSnapshot{Phase: t.tracer.Current()}
+}
+
+// SpanReport is one finished pipeline phase in Report.Telemetry.
+type SpanReport struct {
+	Name       string
+	WallNanos  int64
+	StartClock uint64
+	EndClock   uint64
+}
+
+// TelemetryReport is the end-of-run self-observability section of a Report.
+type TelemetryReport struct {
+	// Counters, Gauges and Histograms snapshot the metrics registry (gauge
+	// functions evaluated at snapshot time).
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]obs.HistogramSnapshot
+	// Spans are the pipeline phases in completion order.
+	Spans []SpanReport
+}
+
+// report snapshots the registry and tracer into the public report section.
+func (t *Telemetry) report() *TelemetryReport {
+	if t == nil {
+		return nil
+	}
+	s := t.reg.Snapshot()
+	rep := &TelemetryReport{Counters: s.Counters, Gauges: s.Gauges, Histograms: s.Histograms}
+	for _, sp := range t.tracer.Spans() {
+		rep.Spans = append(rep.Spans, SpanReport{
+			Name: sp.Name, WallNanos: sp.WallNanos,
+			StartClock: sp.StartClock, EndClock: sp.EndClock,
+		})
+	}
+	return rep
+}
+
+// probes returns the per-layer hook bundle for this handle; nil-safe, so
+// callers can unconditionally write opts.Probes = tel.probes().Sig etc.
+func (t *Telemetry) probes() *obs.Probes {
+	if t == nil {
+		return nil
+	}
+	return obs.DefaultProbes(t.reg)
+}
+
+// span opens a pipeline phase; nil-safe.
+func (t *Telemetry) span(name string) *obs.SpanHandle {
+	if t == nil {
+		return nil
+	}
+	return t.tracer.Start(name)
+}
+
+// wireRun binds the live-introspection sources (gauge functions and the
+// /progress snapshot) to one run's engine, detector and signature backend.
+// smp may be nil. Call after the engine exists and before it runs.
+func (t *Telemetry) wireRun(eng *exec.Engine, d *detect.Detector, backend *sig.Asymmetric, smp *detect.Sampler) {
+	if t == nil {
+		return
+	}
+	start := time.Now()
+	t.start.Store(start)
+	t.tracer.SetClock(eng.Clock)
+	reg := t.reg
+	reg.GaugeFunc("exec_logical_clock", func() float64 { return float64(eng.Clock()) })
+	reg.GaugeFunc("exec_barrier_epochs", func() float64 { return float64(eng.BarrierEpochs()) })
+	reg.GaugeFunc("detect_accesses_processed", func() float64 { return float64(d.Stats().Processed) })
+	reg.GaugeFunc("detect_comm_bytes", func() float64 { return float64(d.Stats().CommBytes) })
+	reg.GaugeFunc("detect_accesses_per_sec", func() float64 {
+		elapsed := time.Since(start).Seconds()
+		if elapsed <= 0 {
+			return 0
+		}
+		return float64(d.Stats().Processed) / elapsed
+	})
+	reg.GaugeFunc("sig_slot_occupancy", backend.Occupancy)
+	reg.GaugeFunc("sig_bloom_fill_ratio", func() float64 { return backend.FillRatio(256) })
+	reg.GaugeFunc("sig_footprint_bytes", func() float64 { return float64(backend.FootprintBytes()) })
+	if smp != nil {
+		reg.GaugeFunc("detect_sampler_skipped_reads", func() float64 { return float64(smp.Skipped()) })
+	}
+	t.progress.Store(func() ProgressSnapshot {
+		st := d.Stats()
+		elapsed := time.Since(start).Seconds()
+		rate := 0.0
+		if elapsed > 0 {
+			rate = float64(st.Processed) / elapsed
+		}
+		var skipped uint64
+		if smp != nil {
+			skipped = smp.Skipped()
+		}
+		return ProgressSnapshot{
+			Phase:          t.tracer.Current(),
+			ElapsedSeconds: elapsed,
+			Clock:          eng.Clock(),
+			Accesses:       st.Processed,
+			AccessesPerSec: rate,
+			Dependencies:   st.Detected,
+			CommBytes:      st.CommBytes,
+			PerThread:      eng.ThreadProgress(),
+			BarrierEpochs:  eng.BarrierEpochs(),
+			SkippedReads:   skipped,
+			SigFilters:     backend.AllocatedFilters(),
+			SigOccupancy:   backend.Occupancy(),
+			SigFillRatio:   backend.FillRatio(64),
+		}
+	})
+}
+
+// finishRun records end-of-run structure gauges and attaches the snapshot to
+// the report. tree may be nil (no region table).
+func (t *Telemetry) finishRun(rep *Report, tree *comm.Tree) {
+	if t == nil {
+		return
+	}
+	if tree != nil {
+		t.reg.Gauge("comm_tree_nodes").Set(float64(tree.NodeCount()))
+		t.reg.Gauge("comm_matrix_nnz").Set(float64(tree.Global.NonZeroCells()))
+	}
+	rep.Telemetry = t.report()
+}
