@@ -8,6 +8,7 @@
 //	commprof -app lu_ncb -threads 32 -size simdev
 //	commprof -list
 //	commprof -app fft -heatmap -classify
+//	commprof -app ocean_cp -shards 8 -shard-policy degrade
 //	commprof -app radix -record radix.trace
 //	commprof -replay radix.trace -threads 32
 package main
@@ -46,6 +47,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel = fs.Bool("parallel", false, "run threads as free goroutines (non-deterministic)")
 		sample   = fs.Uint("sample", 0, "read-sampling period: analyse 1 of every N reads (0 = all)")
 		gran     = fs.Uint("granularity", 0, "analysis granularity in address bits (0 = per address, 6 = 64B lines)")
+		shards   = fs.Int("shards", 0, "analysis shards for the parallel pipeline (0 = serial in-thread analysis)")
+		shardQ   = fs.Int("shard-queue", 0, "per-shard bounded queue capacity in accesses (0 = default 8192)")
+		shardPol = fs.String("shard-policy", "block", "shard overload policy: block (backpressure) or degrade (thin reads while saturated)")
 		record   = fs.String("record", "", "also write the access trace to this file")
 		replay   = fs.String("replay", "", "analyse a recorded trace file instead of running a benchmark")
 		telem    = fs.Bool("telemetry", false, "collect profiler self-observability metrics and print a Prometheus-text dump after the run")
@@ -72,6 +76,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		PhaseWindow:     *phases,
 		Parallel:        *parallel,
 		GranularityBits: *gran,
+		AnalysisShards:  *shards,
+	}
+	if *shards > 0 {
+		opts.ShardQueueCapacity = *shardQ
+		opts.ShardPolicy = commprof.ShardPolicy(*shardPol)
 	}
 	if *sample > 0 {
 		opts.SampleBurst, opts.SamplePeriod = 1, uint32(*sample)

@@ -76,6 +76,23 @@ type Options struct {
 	// MaxHotspots caps the number of ranked hotspot loops in the report.
 	// 0 means the default of 10; a negative value lifts the cap entirely.
 	MaxHotspots int
+	// AnalysisShards, when positive, replaces the serial in-thread analyser
+	// with the sharded parallel pipeline (internal/pipeline): each access is
+	// routed by address hash to one of AnalysisShards shards, each owning a
+	// private partition of the signature slot budget, a bounded queue and a
+	// dedicated worker goroutine; shard matrices merge into the standard
+	// report at the end of the run. 0 (the default) keeps the paper's serial
+	// analysis. Incompatible with PhaseWindow, which needs globally ordered
+	// events.
+	AnalysisShards int
+	// ShardQueueCapacity bounds each shard's queue in accesses when
+	// AnalysisShards is active (0 = the pipeline default of 8192).
+	ShardQueueCapacity int
+	// ShardPolicy selects the sharded analyser's overload behaviour:
+	// ShardPolicyBlock (default) applies backpressure, ShardPolicyDegrade
+	// thins reads while a queue is saturated. Ignored when AnalysisShards
+	// is 0.
+	ShardPolicy ShardPolicy
 	// Telemetry, when non-nil, threads self-observability probes through
 	// the signature, detector and executor layers, records run-phase spans,
 	// and attaches an end-of-run snapshot as Report.Telemetry. See
@@ -129,6 +146,9 @@ func Profile(opts Options) (*Report, error) {
 		return nil, err
 	}
 	probes := tel.probes()
+	if opts.AnalysisShards > 0 {
+		return profileSharded(opts, prog, tel, probes, setup)
+	}
 	backend, err := sig.NewAsymmetric(sig.Options{
 		Slots: opts.SignatureSlots, Threads: opts.Threads, FPRate: opts.BloomFPRate,
 		Probes: probes.SigProbes(),
@@ -202,15 +222,22 @@ func buildReport(name string, threads int, d *detect.Detector, stats exec.Stats,
 		return nil, nil, fmt.Errorf("commprof: internal invariant violated: %w", err)
 	}
 	build.End()
+	dstats := d.Stats()
+	return reportFromTree(name, threads, tree, dstats.Detected, dstats.CommBytes, stats, sigBytes, maxHotspots, tel)
+}
+
+// reportFromTree renders a finished communication tree into the public report
+// form. Both analysers end here: the serial detector via buildReport, the
+// sharded pipeline via buildReportSharded.
+func reportFromTree(name string, threads int, tree *comm.Tree, detected, commBytes uint64, stats exec.Stats, sigBytes uint64, maxHotspots int, tel *Telemetry) (*Report, *comm.Tree, error) {
 	report := tel.span("report")
 	defer report.End()
-	dstats := d.Stats()
 	rep := &Report{
 		Workload:       name,
 		Threads:        threads,
 		Accesses:       stats.Accesses,
-		Dependencies:   dstats.Detected,
-		CommBytes:      dstats.CommBytes,
+		Dependencies:   detected,
+		CommBytes:      commBytes,
 		SignatureBytes: sigBytes,
 		SampleFraction: 1,
 		Global:         fromInternal(tree.Global),

@@ -170,6 +170,27 @@ func (d *Detector) ProcessStream(accesses []trace.Access) {
 // Global returns the whole-program communication matrix.
 func (d *Detector) Global() *comm.Matrix { return d.global }
 
+// Outside returns the matrix of traffic not attributed to any region. The
+// sharded pipeline reads it when merging shard detectors into one tree.
+func (d *Detector) Outside() *comm.Matrix { return d.outside }
+
+// RegionAccesses returns a snapshot of the per-region access counters, or nil
+// when the detector was built without a region table.
+func (d *Detector) RegionAccesses() []uint64 {
+	if d.regionAcc == nil {
+		return nil
+	}
+	acc := make([]uint64, len(d.regionAcc))
+	for i := range d.regionAcc {
+		acc[i] = d.regionAcc[i].Load()
+	}
+	return acc
+}
+
+// Table returns the static region table the detector was built with (nil when
+// per-region attribution is disabled).
+func (d *Detector) Table() *trace.Table { return d.opts.Table }
+
 // Tree builds the nested communication structure. It errors if the detector
 // was built without a region table.
 func (d *Detector) Tree() (*comm.Tree, error) {

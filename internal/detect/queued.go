@@ -19,10 +19,12 @@ type Queued struct {
 
 	mu       sync.Mutex
 	notEmpty *sync.Cond
+	notFull  *sync.Cond
 	queue    []trace.Access
 	closed   bool
 
 	peak       int
+	capacity   int // 0 = unbounded (the original architecture); >0 blocks producers when full
 	perItemOps int // extra analyser work per event, simulating a slow consumer
 
 	done sync.WaitGroup
@@ -31,21 +33,34 @@ type Queued struct {
 // queuedRecordBytes is the in-queue size of one access record.
 const queuedRecordBytes = 32
 
-// NewQueued wraps d with a queue and starts the analyser goroutine.
+// NewQueued wraps d with an unbounded queue and starts the analyser
+// goroutine — the paper-faithful reproduction of the original DiscoPoP.
 // perItemOps adds artificial analyser work per event (0 = drain at full
 // speed); bursty producers overrun slower analysers, growing the queue.
 func NewQueued(d *Detector, perItemOps int) *Queued {
-	q := &Queued{d: d, perItemOps: perItemOps}
+	return NewQueuedBounded(d, perItemOps, 0)
+}
+
+// NewQueuedBounded is NewQueued with an optional capacity: when capacity > 0
+// a producer whose enqueue would exceed it blocks until the analyser drains a
+// slot — backpressure instead of unbounded growth, the modern fix for the
+// §V-A2 critique. capacity 0 keeps the original unbounded behaviour.
+func NewQueuedBounded(d *Detector, perItemOps, capacity int) *Queued {
+	q := &Queued{d: d, perItemOps: perItemOps, capacity: capacity}
 	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
 	q.done.Add(1)
 	go q.analyser()
 	return q
 }
 
-// Process enqueues one access for ordered background analysis. Safe for
-// concurrent use by producers.
+// Process enqueues one access for ordered background analysis, blocking when
+// a bounded queue is full. Safe for concurrent use by producers.
 func (q *Queued) Process(a trace.Access) {
 	q.mu.Lock()
+	for q.capacity > 0 && len(q.queue) >= q.capacity && !q.closed {
+		q.notFull.Wait()
+	}
 	q.queue = append(q.queue, a)
 	if len(q.queue) > q.peak {
 		q.peak = len(q.queue)
@@ -74,6 +89,7 @@ func (q *Queued) analyser() {
 		a := q.queue[0]
 		q.queue = q.queue[1:]
 		q.mu.Unlock()
+		q.notFull.Signal()
 
 		for i := 0; i < q.perItemOps; i++ {
 			spin ^= spin << 13
@@ -91,8 +107,12 @@ func (q *Queued) Close() {
 	q.closed = true
 	q.mu.Unlock()
 	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
 	q.done.Wait()
 }
+
+// Capacity reports the configured bound (0 = unbounded).
+func (q *Queued) Capacity() int { return q.capacity }
 
 // PeakQueueLength reports the maximum number of accesses ever waiting.
 func (q *Queued) PeakQueueLength() int {

@@ -95,6 +95,38 @@ func TestQueuedFastAnalyserStaysSmall(t *testing.T) {
 	}
 }
 
+func TestBoundedQueueBurstStaysWithinCapacity(t *testing.T) {
+	// The bounded variant under the same §V-A2 burst that overruns the
+	// unbounded queue: peak depth must respect the capacity (backpressure
+	// blocks producers instead of growing memory) and every access must
+	// still be analysed, in order.
+	const capacity = 64
+	stream := genAccesses(20000, 10)
+
+	inline := newDetector(t, 8, nil)
+	inline.ProcessStream(stream)
+
+	qd := newDetector(t, 8, nil)
+	q := NewQueuedBounded(qd, 2000, capacity) // same slow analyser as the burst test
+	for _, a := range stream {
+		q.Process(a)
+	}
+	peakDuring := q.PeakQueueLength()
+	q.Close()
+	if peakDuring > capacity {
+		t.Fatalf("peak queue length %d exceeds capacity %d", peakDuring, capacity)
+	}
+	if q.Capacity() != capacity {
+		t.Fatalf("Capacity() = %d", q.Capacity())
+	}
+	if qd.Stats().Processed != uint64(len(stream)) {
+		t.Fatalf("processed %d of %d", qd.Stats().Processed, len(stream))
+	}
+	if !inline.Global().Equal(qd.Global()) {
+		t.Fatal("bounded queued analysis diverged from inline")
+	}
+}
+
 func TestQueuedCloseIdempotentDrain(t *testing.T) {
 	qd := newDetector(t, 2, nil)
 	q := NewQueued(qd, 0)

@@ -22,29 +22,58 @@ import (
 // therefore underestimate true communication by roughly Burst/Period;
 // ScaledGlobal rescales for comparison with full profiling.
 type Sampler struct {
-	d      *Detector
-	burst  uint32
-	period uint32
-	// Per-thread read counters; sized at construction.
-	phase []uint32
+	d    *Detector
+	gate *Gate
 
 	// skipped is atomic so a live telemetry snapshot can read it while the
 	// run is in flight (and so parallel runs stay race-clean).
 	skipped atomic.Uint64
 }
 
-// NewSampler wraps d so that burst of every period reads are analysed.
-// burst must be in [1, period].
-func NewSampler(d *Detector, burst, period uint32) (*Sampler, error) {
+// Gate is the burst/period read-admission policy underlying the Sampler,
+// extracted so other consumers (the sharded pipeline's degrade-to-sampling
+// overload mode, facade-level pre-enqueue thinning) share one definition: of
+// every Period reads per thread, the first Burst are admitted. Each phase
+// counter is only ever advanced by its own thread, so a Gate is safe in
+// parallel engine mode without atomics.
+type Gate struct {
+	burst  uint32
+	period uint32
+	// Per-thread read counters; sized at construction.
+	phase []uint32
+}
+
+// NewGate builds an admission gate for the given thread count. burst must be
+// in [1, period].
+func NewGate(threads int, burst, period uint32) (*Gate, error) {
+	if threads <= 0 {
+		return nil, fmt.Errorf("detect: gate needs a positive thread count, got %d", threads)
+	}
 	if burst == 0 || period == 0 || burst > period {
 		return nil, fmt.Errorf("detect: invalid sampling %d/%d (need 1 <= burst <= period)", burst, period)
 	}
-	return &Sampler{
-		d:      d,
-		burst:  burst,
-		period: period,
-		phase:  make([]uint32, d.opts.Threads),
-	}, nil
+	return &Gate{burst: burst, period: period, phase: make([]uint32, threads)}, nil
+}
+
+// Admit reports whether tid's next read should be analysed, advancing tid's
+// burst/period phase.
+func (g *Gate) Admit(tid int32) bool {
+	p := g.phase[tid]
+	g.phase[tid] = (p + 1) % g.period
+	return p < g.burst
+}
+
+// Fraction returns the admitted fraction burst/period.
+func (g *Gate) Fraction() float64 { return float64(g.burst) / float64(g.period) }
+
+// NewSampler wraps d so that burst of every period reads are analysed.
+// burst must be in [1, period].
+func NewSampler(d *Detector, burst, period uint32) (*Sampler, error) {
+	gate, err := NewGate(d.opts.Threads, burst, period)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{d: d, gate: gate}, nil
 }
 
 // Process forwards one access, applying read sampling. It reports whether
@@ -53,9 +82,7 @@ func (s *Sampler) Process(a trace.Access) (Event, bool) {
 	if a.Kind == trace.Write {
 		return s.d.Process(a)
 	}
-	p := s.phase[a.Thread]
-	s.phase[a.Thread] = (p + 1) % s.period
-	if p >= s.burst {
+	if !s.gate.Admit(a.Thread) {
 		s.skipped.Add(1)
 		return Event{}, false
 	}
@@ -77,9 +104,7 @@ func (s *Sampler) Detector() *Detector { return s.d }
 func (s *Sampler) Skipped() uint64 { return s.skipped.Load() }
 
 // SampleFraction returns the configured analysed fraction of reads.
-func (s *Sampler) SampleFraction() float64 {
-	return float64(s.burst) / float64(s.period)
-}
+func (s *Sampler) SampleFraction() float64 { return s.gate.Fraction() }
 
 // ScaledGlobal returns the global matrix rescaled by 1/SampleFraction, the
 // estimator for the unsampled communication volume.

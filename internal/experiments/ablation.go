@@ -8,6 +8,7 @@ import (
 	"commprof/internal/baselines"
 	"commprof/internal/comm"
 	"commprof/internal/detect"
+	"commprof/internal/pipeline"
 	"commprof/internal/sig"
 	"commprof/internal/splash"
 	"commprof/internal/trace"
@@ -240,6 +241,22 @@ func Throughput(env Env, app string, size splash.Size) (*ThroughputResult, error
 		}
 		return asym.FootprintBytes()
 	})
+	for _, k := range []int{2, 4, 8} {
+		k := k
+		add(fmt.Sprintf("discopop-sharded-%d", k), func() uint64 {
+			e, err := pipeline.New(pipeline.Options{
+				Shards: k, Threads: env.Threads,
+				NewBackend: pipeline.AsymmetricFactory(env.SigSlots, k, env.Threads, env.FPRate, env.Probes.SigProbes()),
+				Probes:     env.Probes.PipelineProbes(),
+			})
+			if err != nil {
+				return 0
+			}
+			e.ProcessStream(stream)
+			e.Close()
+			return e.SigFootprintBytes()
+		})
+	}
 	add("perfect", func() uint64 {
 		p := sig.NewPerfect(env.Threads)
 		d, err := detect.New(detect.Options{Threads: env.Threads, Backend: p})

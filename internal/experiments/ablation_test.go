@@ -70,7 +70,7 @@ func TestThroughputComparison(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 9 {
+	if len(res.Rows) != 12 {
 		t.Fatalf("rows = %d: %+v", len(res.Rows), res.Rows)
 	}
 	rates := map[string]float64{}

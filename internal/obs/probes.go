@@ -30,6 +30,26 @@ type DetectProbes struct {
 	EventBytes *Histogram
 }
 
+// PipelineProbes instruments the sharded parallel analysis engine
+// (internal/pipeline).
+type PipelineProbes struct {
+	// Enqueued counts accesses accepted into shard queues.
+	Enqueued *Counter
+	// DroppedReads counts reads the degrade-to-sampling overload policy
+	// discarded while a shard queue was saturated.
+	DroppedReads *Counter
+	// EnqueueStalls counts producer waits on a full shard queue — the
+	// backpressure episodes a bounded queue trades for the original
+	// DiscoPoP's unbounded growth.
+	EnqueueStalls *Counter
+	// BatchSizes is the distribution of batch sizes workers drained per
+	// wakeup (1 = no amortization, BatchSize = fully amortized).
+	BatchSizes *Histogram
+	// QueueDepth is the shard queue depth sampled at each worker drain,
+	// the throughput-facing complement of the per-shard live depth gauges.
+	QueueDepth *Histogram
+}
+
 // EngineProbes instruments the simulated-thread executor.
 type EngineProbes struct {
 	// QuantumSwitches counts deterministic-scheduler turns (one per quantum
@@ -43,9 +63,10 @@ type EngineProbes struct {
 
 // Probes bundles every layer's hooks for one profiling run.
 type Probes struct {
-	Sig    *SigProbes
-	Detect *DetectProbes
-	Engine *EngineProbes
+	Sig      *SigProbes
+	Detect   *DetectProbes
+	Engine   *EngineProbes
+	Pipeline *PipelineProbes
 }
 
 // DefaultProbes wires a full probe set into r under the standard metric
@@ -69,6 +90,13 @@ func DefaultProbes(r *Registry) *Probes {
 			QuantumSwitches: r.Counter("exec_quantum_switches_total"),
 			BarrierWaits:    r.Counter("exec_barrier_waits_total"),
 			LockWaits:       r.Counter("exec_lock_waits_total"),
+		},
+		Pipeline: &PipelineProbes{
+			Enqueued:      r.Counter("pipeline_enqueued_total"),
+			DroppedReads:  r.Counter("pipeline_dropped_reads_total"),
+			EnqueueStalls: r.Counter("pipeline_enqueue_stalls_total"),
+			BatchSizes:    r.Histogram("pipeline_batch_size"),
+			QueueDepth:    r.Histogram("pipeline_queue_depth"),
 		},
 	}
 }
@@ -95,4 +123,12 @@ func (p *Probes) EngineProbes() *EngineProbes {
 		return nil
 	}
 	return p.Engine
+}
+
+// PipelineProbes returns the sharded-analyser bundle; nil-safe.
+func (p *Probes) PipelineProbes() *PipelineProbes {
+	if p == nil {
+		return nil
+	}
+	return p.Pipeline
 }

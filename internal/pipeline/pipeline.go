@@ -1,0 +1,536 @@
+// Package pipeline is the sharded parallel analysis engine: the scale-out
+// successor to the single serial detect.Detector funnel.
+//
+// The paper's in-thread analysis (§V-A2) rejects the original DiscoPoP's
+// analysis queue because "the queue size may increase dramatically if there
+// is burst in accessing memory" — internal/detect.Queued reproduces exactly
+// that failure mode. The modern fix (cf. PROMPT, arXiv:2311.03263) is to
+// parallelize the analysis itself: hash each access address to one of K
+// shards, give every shard a private partition of signature memory, private
+// matrix accumulators, and a dedicated worker goroutine fed by a *bounded*
+// ring-buffer queue, then merge the shard results at close.
+//
+// Sharding is correct because Algorithm 1's detection rule is purely
+// per-address: the communicating-access decision for address a depends only
+// on the temporally ordered sequence of accesses to a. Routing by address
+// keeps every address's whole history on one shard, whose FIFO queue
+// preserves arrival order, so an exact backend (sig.Perfect) produces
+// bit-identical matrices to the serial detector. The approximate asymmetric
+// signature couples addresses through slot collisions; partitioning its slot
+// budget across shards keeps the expected collision rate (and Eq. 2 memory)
+// unchanged but changes *which* collisions occur, so results match the
+// serial analyser exactly whenever the run is collision-free and
+// statistically otherwise.
+//
+// Queues are bounded, so analysis memory stays fixed no matter how bursty
+// the producers are. Overload is governed by a policy: PolicyBlock (default)
+// applies backpressure, PolicyDegrade thins reads through the same
+// burst/period gate as detect.Sampler while a queue is saturated (writes are
+// never dropped — losing a write corrupts last-writer attribution rather
+// than merely losing volume).
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"commprof/internal/comm"
+	"commprof/internal/detect"
+	"commprof/internal/exec"
+	"commprof/internal/murmur"
+	"commprof/internal/obs"
+	"commprof/internal/sig"
+	"commprof/internal/trace"
+)
+
+// OverloadPolicy selects what happens to producers when a shard queue fills.
+type OverloadPolicy int
+
+const (
+	// PolicyBlock applies backpressure: a producer blocks until the shard
+	// worker drains below capacity. Analysis is exhaustive; producer speed
+	// follows the slowest shard.
+	PolicyBlock OverloadPolicy = iota
+	// PolicyDegrade degrades to read sampling under overload: while a shard
+	// queue is saturated, reads pass through a detect.Gate and only the
+	// admitted burst fraction is enqueued; the rest are dropped and counted.
+	// Writes always enqueue (blocking if necessary).
+	PolicyDegrade
+)
+
+// String names the policy for reports.
+func (p OverloadPolicy) String() string {
+	if p == PolicyDegrade {
+		return "degrade"
+	}
+	return "block"
+}
+
+// shardSeed routes addresses to shards with a hash independent of both
+// signature slot hashes, so shard skew does not correlate with slot
+// collisions.
+const shardSeed uint64 = 0xA0761D6478BD642F
+
+// Options configures a sharded analysis engine.
+type Options struct {
+	// Shards is the number of analysis shards K (default GOMAXPROCS).
+	Shards int
+	// Threads is the target program's thread count (matrix dimension).
+	Threads int
+	// Table is the static region table; nil disables per-region attribution.
+	Table *trace.Table
+	// GranularityBits coarsens analysis granularity exactly as in
+	// detect.Options; the shard route hashes the *coarsened* address so one
+	// granule never splits across shards.
+	GranularityBits uint
+	// QueueCapacity bounds each shard's queue in accesses (default 8192).
+	QueueCapacity int
+	// BatchSize is the producer-side staging batch of ProcessStream and the
+	// worker-side drain limit (default 256). Larger batches amortize queue
+	// locking; smaller ones reduce detection latency.
+	BatchSize int
+	// Policy selects the overload behaviour (default PolicyBlock).
+	Policy OverloadPolicy
+	// DegradeBurst/DegradePeriod configure PolicyDegrade's read gate
+	// (default 1 of every 8 reads admitted while saturated).
+	DegradeBurst, DegradePeriod uint32
+	// NewBackend builds shard s's private signature partition; required.
+	// Use AsymmetricFactory to split one slot budget across shards, or
+	// PerfectFactory for exact ground-truth analysis.
+	NewBackend func(shard int) (sig.Backend, error)
+	// OnEvent, when non-nil, receives every detected dependence. Shard
+	// workers call it concurrently; it must be safe for concurrent use.
+	OnEvent func(detect.Event)
+	// Probes, when non-nil, receives self-observability telemetry. Nil keeps
+	// the hot path uninstrumented.
+	Probes *obs.PipelineProbes
+}
+
+func (o *Options) setDefaults() error {
+	if o.Shards == 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards < 1 {
+		return fmt.Errorf("pipeline: Shards must be positive, got %d", o.Shards)
+	}
+	if o.Threads <= 0 {
+		return fmt.Errorf("pipeline: Threads must be positive, got %d", o.Threads)
+	}
+	if o.NewBackend == nil {
+		return fmt.Errorf("pipeline: NewBackend is required")
+	}
+	if o.QueueCapacity == 0 {
+		o.QueueCapacity = 8192
+	}
+	if o.QueueCapacity < 1 {
+		return fmt.Errorf("pipeline: QueueCapacity must be positive, got %d", o.QueueCapacity)
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 256
+	}
+	if o.BatchSize < 1 {
+		return fmt.Errorf("pipeline: BatchSize must be positive, got %d", o.BatchSize)
+	}
+	if o.BatchSize > o.QueueCapacity {
+		o.BatchSize = o.QueueCapacity
+	}
+	if o.DegradeBurst == 0 && o.DegradePeriod == 0 {
+		o.DegradeBurst, o.DegradePeriod = 1, 8
+	}
+	if o.Policy == PolicyDegrade {
+		if o.DegradeBurst == 0 || o.DegradePeriod == 0 || o.DegradeBurst > o.DegradePeriod {
+			return fmt.Errorf("pipeline: invalid degrade rate %d/%d (need 1 <= burst <= period)",
+				o.DegradeBurst, o.DegradePeriod)
+		}
+	}
+	return nil
+}
+
+// AsymmetricFactory returns a NewBackend that partitions a total asymmetric
+// signature budget evenly across shards: each shard gets ceil(slots/K) slots,
+// so total signature memory matches a serial analyser with the full budget
+// (Eq. 2 is linear in n).
+func AsymmetricFactory(totalSlots uint64, shards, threads int, fpRate float64, probes *obs.SigProbes) func(int) (sig.Backend, error) {
+	perShard := (totalSlots + uint64(shards) - 1) / uint64(shards)
+	return func(int) (sig.Backend, error) {
+		return sig.NewAsymmetric(sig.Options{
+			Slots: perShard, Threads: threads, FPRate: fpRate, Probes: probes,
+		})
+	}
+}
+
+// PerfectFactory returns a NewBackend producing collision-free partitions:
+// the configuration under which sharded analysis is bit-identical to the
+// serial detector.
+func PerfectFactory(threads int) func(int) (sig.Backend, error) {
+	return func(int) (sig.Backend, error) { return sig.NewPerfect(threads), nil }
+}
+
+// shard owns one address partition: a bounded ring queue, a worker, a
+// private detector and a private signature partition.
+type shard struct {
+	d       *detect.Detector
+	backend sig.Backend
+
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	ring     []trace.Access
+	head, n  int
+	closed   bool
+	peak     int
+
+	// depth mirrors n atomically for lock-free saturation checks and gauges.
+	depth     atomic.Int64
+	processed atomic.Uint64
+}
+
+func (s *shard) capacity() int { return len(s.ring) }
+
+// Depth reports the current queue depth; safe while the run is in flight.
+func (s *shard) Depth() int { return int(s.depth.Load()) }
+
+// enqueue appends items to the ring in order, blocking while full. Returns
+// the recorded peak on the way out so producers never re-lock for it.
+func (s *shard) enqueue(items []trace.Access, p *obs.PipelineProbes) {
+	for len(items) > 0 {
+		s.mu.Lock()
+		if s.n == len(s.ring) && !s.closed {
+			if p != nil {
+				p.EnqueueStalls.Inc()
+			}
+			for s.n == len(s.ring) && !s.closed {
+				s.notFull.Wait()
+			}
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		k := len(s.ring) - s.n
+		if k > len(items) {
+			k = len(items)
+		}
+		for i := 0; i < k; i++ {
+			s.ring[(s.head+s.n+i)%len(s.ring)] = items[i]
+		}
+		s.n += k
+		if s.n > s.peak {
+			s.peak = s.n
+		}
+		s.depth.Add(int64(k))
+		s.mu.Unlock()
+		s.notEmpty.Signal()
+		items = items[k:]
+		if p != nil {
+			p.Enqueued.Add(uint64(k))
+		}
+	}
+}
+
+// worker drains the ring in batches and runs Algorithm 1 on its partition.
+func (s *shard) worker(batch int, p *obs.PipelineProbes, wg *sync.WaitGroup) {
+	defer wg.Done()
+	scratch := make([]trace.Access, batch)
+	for {
+		s.mu.Lock()
+		for s.n == 0 && !s.closed {
+			s.notEmpty.Wait()
+		}
+		if s.n == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		k := s.n
+		if k > len(scratch) {
+			k = len(scratch)
+		}
+		if p != nil {
+			p.QueueDepth.Observe(uint64(s.n))
+		}
+		for i := 0; i < k; i++ {
+			scratch[i] = s.ring[(s.head+i)%len(s.ring)]
+		}
+		s.head = (s.head + k) % len(s.ring)
+		s.n -= k
+		s.depth.Add(int64(-k))
+		s.mu.Unlock()
+		// Broadcast, not Signal: several producers may block on one shard in
+		// parallel engine mode and k freed slots can admit all of them.
+		s.notFull.Broadcast()
+		for _, a := range scratch[:k] {
+			s.d.Process(a)
+		}
+		s.processed.Add(uint64(k))
+		if p != nil {
+			p.BatchSizes.Observe(uint64(k))
+		}
+	}
+}
+
+// Engine is the sharded analysis pipeline. Enqueue accesses with Process /
+// Probe (any number of concurrent producers) or ProcessStream (one producer,
+// batched), then Close before reading merged results.
+type Engine struct {
+	opts   Options
+	shards []*shard
+	wg     sync.WaitGroup
+
+	gate    *detect.Gate
+	dropped atomic.Uint64
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+
+	mergeOnce sync.Once
+	global    *comm.Matrix
+	outside   *comm.Matrix
+	perRegion []*comm.Matrix
+	regionAcc []uint64
+}
+
+// New builds the engine and starts one worker goroutine per shard.
+func New(opts Options) (*Engine, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	if opts.Table != nil {
+		if err := opts.Table.Validate(); err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+	}
+	e := &Engine{opts: opts, shards: make([]*shard, opts.Shards)}
+	if opts.Policy == PolicyDegrade {
+		gate, err := detect.NewGate(opts.Threads, opts.DegradeBurst, opts.DegradePeriod)
+		if err != nil {
+			return nil, err
+		}
+		e.gate = gate
+	}
+	for i := range e.shards {
+		backend, err := opts.NewBackend(i)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: shard %d backend: %w", i, err)
+		}
+		d, err := detect.New(detect.Options{
+			Threads: opts.Threads, Backend: backend, Table: opts.Table,
+			GranularityBits: opts.GranularityBits, OnEvent: opts.OnEvent,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: shard %d: %w", i, err)
+		}
+		s := &shard{d: d, backend: backend, ring: make([]trace.Access, opts.QueueCapacity)}
+		s.notEmpty.L = &s.mu
+		s.notFull.L = &s.mu
+		e.shards[i] = s
+	}
+	for _, s := range e.shards {
+		e.wg.Add(1)
+		go s.worker(e.opts.BatchSize, e.opts.Probes, &e.wg)
+	}
+	return e, nil
+}
+
+// Shards returns the configured shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// route maps an access to its shard index by hashing the
+// granularity-coarsened address, so every address's full history lands on one
+// FIFO queue.
+func (e *Engine) route(addr uint64) int {
+	if len(e.shards) == 1 {
+		return 0
+	}
+	return int(murmur.HashAddr(addr>>e.opts.GranularityBits, shardSeed) % uint64(len(e.shards)))
+}
+
+// Process enqueues one access. Safe for concurrent producers; accesses from
+// different producers interleave in arrival order, exactly like the serial
+// detector in parallel engine mode.
+func (e *Engine) Process(a trace.Access) {
+	s := e.shards[e.route(a.Addr)]
+	if e.gate != nil && a.Kind == trace.Read && s.depth.Load() >= int64(s.capacity()) {
+		if !e.gate.Admit(a.Thread) {
+			e.dropped.Add(1)
+			if p := e.opts.Probes; p != nil {
+				p.DroppedReads.Inc()
+			}
+			return
+		}
+	}
+	s.enqueue([]trace.Access{a}, e.opts.Probes)
+}
+
+// Probe adapts the engine to the executor's instrumentation hook.
+func (e *Engine) Probe() exec.Probe {
+	return func(a trace.Access) { e.Process(a) }
+}
+
+// ProcessStream feeds a recorded access stream through the pipeline with
+// per-shard batching. Single producer only: concurrent callers would
+// interleave their staging batches and break per-address order. Per-shard
+// order equals stream order, so results are deterministic for a fixed stream
+// and shard count.
+func (e *Engine) ProcessStream(accesses []trace.Access) {
+	pending := make([][]trace.Access, len(e.shards))
+	for i := range pending {
+		pending[i] = make([]trace.Access, 0, e.opts.BatchSize)
+	}
+	for _, a := range accesses {
+		i := e.route(a.Addr)
+		s := e.shards[i]
+		if e.gate != nil && a.Kind == trace.Read && s.depth.Load() >= int64(s.capacity()) {
+			if !e.gate.Admit(a.Thread) {
+				e.dropped.Add(1)
+				if p := e.opts.Probes; p != nil {
+					p.DroppedReads.Inc()
+				}
+				continue
+			}
+		}
+		pending[i] = append(pending[i], a)
+		if len(pending[i]) == e.opts.BatchSize {
+			s.enqueue(pending[i], e.opts.Probes)
+			pending[i] = pending[i][:0]
+		}
+	}
+	for i, batch := range pending {
+		if len(batch) > 0 {
+			e.shards[i].enqueue(batch, e.opts.Probes)
+		}
+	}
+}
+
+// Close drains every shard queue, stops the workers and merges shard results.
+// Idempotent; call it before reading Global, Tree or Stats.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		for _, s := range e.shards {
+			s.mu.Lock()
+			s.closed = true
+			s.mu.Unlock()
+			s.notEmpty.Broadcast()
+			s.notFull.Broadcast()
+		}
+		e.wg.Wait()
+		e.closed.Store(true)
+	})
+}
+
+// merge sums the shard matrices and counters into the standard global /
+// outside / per-region form. Runs once, after Close.
+func (e *Engine) merge() {
+	e.mergeOnce.Do(func() {
+		n := e.opts.Threads
+		e.global = comm.NewMatrix(n)
+		e.outside = comm.NewMatrix(n)
+		for _, s := range e.shards {
+			e.global.AddMatrix(s.d.Global())
+			e.outside.AddMatrix(s.d.Outside())
+		}
+		if e.opts.Table != nil {
+			e.perRegion = make([]*comm.Matrix, e.opts.Table.Len())
+			e.regionAcc = make([]uint64, e.opts.Table.Len())
+			for i := range e.perRegion {
+				m := comm.NewMatrix(n)
+				for _, s := range e.shards {
+					sm, err := s.d.RegionMatrix(int32(i))
+					if err == nil {
+						m.AddMatrix(sm)
+					}
+				}
+				e.perRegion[i] = m
+			}
+			for _, s := range e.shards {
+				for i, v := range s.d.RegionAccesses() {
+					e.regionAcc[i] += v
+				}
+			}
+		}
+	})
+}
+
+// Global returns the merged whole-program communication matrix. It errors
+// until Close has drained the pipeline.
+func (e *Engine) Global() (*comm.Matrix, error) {
+	if !e.closed.Load() {
+		return nil, fmt.Errorf("pipeline: Global before Close")
+	}
+	e.merge()
+	return e.global, nil
+}
+
+// Tree builds the merged nested communication structure — the same
+// comm.Tree a serial detector produces. It errors until Close, or when the
+// engine was built without a region table.
+func (e *Engine) Tree() (*comm.Tree, error) {
+	if !e.closed.Load() {
+		return nil, fmt.Errorf("pipeline: Tree before Close")
+	}
+	if e.opts.Table == nil {
+		return nil, fmt.Errorf("pipeline: no region table configured")
+	}
+	e.merge()
+	return comm.BuildTree(e.opts.Table, e.perRegion, e.regionAcc, e.global, e.outside)
+}
+
+// Stats aggregates the engine's work across shards.
+type Stats struct {
+	Processed    uint64 // accesses analysed by shard workers
+	Detected     uint64 // inter-thread RAW dependencies found
+	CommBytes    uint64 // total communicated bytes
+	DroppedReads uint64 // reads discarded by PolicyDegrade under saturation
+}
+
+// Stats returns aggregate counters; safe while the run is in flight.
+func (e *Engine) Stats() Stats {
+	var st Stats
+	for _, s := range e.shards {
+		ds := s.d.Stats()
+		st.Processed += ds.Processed
+		st.Detected += ds.Detected
+		st.CommBytes += ds.CommBytes
+	}
+	st.DroppedReads = e.dropped.Load()
+	return st
+}
+
+// ShardStat describes one shard's queue and work.
+type ShardStat struct {
+	Processed uint64 // accesses this shard analysed
+	Depth     int    // current queue depth
+	PeakDepth int    // maximum queue depth observed
+}
+
+// ShardStats returns per-shard statistics; safe while the run is in flight.
+func (e *Engine) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(e.shards))
+	for i, s := range e.shards {
+		s.mu.Lock()
+		peak := s.peak
+		s.mu.Unlock()
+		out[i] = ShardStat{Processed: s.processed.Load(), Depth: s.Depth(), PeakDepth: peak}
+	}
+	return out
+}
+
+// ShardDepth reports shard i's current queue depth — the live gauge source.
+func (e *Engine) ShardDepth(i int) int { return e.shards[i].Depth() }
+
+// QueueCapacity reports the per-shard bound.
+func (e *Engine) QueueCapacity() int { return e.opts.QueueCapacity }
+
+// Policy reports the configured overload policy.
+func (e *Engine) Policy() OverloadPolicy { return e.opts.Policy }
+
+// SigFootprintBytes sums the live memory of every shard's signature
+// partition.
+func (e *Engine) SigFootprintBytes() uint64 {
+	var total uint64
+	for _, s := range e.shards {
+		total += s.backend.FootprintBytes()
+	}
+	return total
+}

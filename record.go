@@ -82,6 +82,18 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 			stats.Reads++
 		}
 	}
+	// A recorded stream is the sharded pipeline's natural input: replay is a
+	// single producer, so per-shard batching applies at full strength.
+	if opts.AnalysisShards > 0 {
+		pe, err := newPipeline(opts, threads, stream.Table, nil)
+		if err != nil {
+			return nil, err
+		}
+		pe.ProcessStream(stream.Accesses)
+		pe.Close()
+		rep, _, err := buildReportSharded("replay", threads, pe, stats, opts.MaxHotspots, nil)
+		return rep, err
+	}
 	backend, err := sig.NewAsymmetric(sig.Options{
 		Slots: opts.SignatureSlots, Threads: threads, FPRate: opts.BloomFPRate,
 	})

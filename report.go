@@ -103,6 +103,26 @@ type HotspotReport struct {
 	BalanceIndex  float64
 }
 
+// PipelineReport describes the sharded analysis engine of a run profiled
+// with Options.AnalysisShards > 0.
+type PipelineReport struct {
+	// Shards is the analysis shard count K.
+	Shards int
+	// QueueCapacity is each shard's bounded queue size in accesses.
+	QueueCapacity int
+	// Policy is the overload policy the run used ("block" or "degrade").
+	Policy string
+	// DroppedReads counts reads the degrade policy discarded while a shard
+	// queue was saturated; always 0 under the block policy.
+	DroppedReads uint64
+	// PeakDepths is each shard's maximum observed queue depth — how close
+	// the run came to its capacity bound.
+	PeakDepths []int
+	// ShardProcessed is each shard's analysed access count: the address-hash
+	// load balance across shards.
+	ShardProcessed []uint64
+}
+
 // PhaseReport is one detected communication phase (§V-A4).
 type PhaseReport struct {
 	Start, End uint64 // logical-time interval
@@ -124,6 +144,9 @@ type Report struct {
 	Regions        []RegionReport
 	Hotspots       []HotspotReport
 	Phases         []PhaseReport
+	// Pipeline describes the sharded analysis engine. Nil unless the run
+	// used Options.AnalysisShards.
+	Pipeline *PipelineReport `json:",omitempty"`
 	// Telemetry is the self-observability snapshot of the run (metric
 	// counters/gauges/histograms plus pipeline-phase spans). Nil unless
 	// Options.Telemetry was set.
@@ -135,7 +158,12 @@ func (r *Report) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "workload %s: %d threads, %d accesses, %d inter-thread RAW deps, %d bytes communicated\n",
 		r.Workload, r.Threads, r.Accesses, r.Dependencies, r.CommBytes)
-	fmt.Fprintf(&b, "profiler memory: %.1f KB\n\n", float64(r.SignatureBytes)/1024)
+	fmt.Fprintf(&b, "profiler memory: %.1f KB\n", float64(r.SignatureBytes)/1024)
+	if p := r.Pipeline; p != nil {
+		fmt.Fprintf(&b, "sharded analysis: %d shards, queue capacity %d, policy %s, dropped reads %d\n",
+			p.Shards, p.QueueCapacity, p.Policy, p.DroppedReads)
+	}
+	b.WriteByte('\n')
 	b.WriteString("region tree:\n")
 	for _, reg := range r.Regions {
 		fmt.Fprintf(&b, "%s%s %s: own=%dB cum=%dB accesses=%d\n",

@@ -1,0 +1,49 @@
+#!/bin/sh
+# bench.sh — serial vs sharded-pipeline analysis throughput.
+# Runs the ProcessStream benchmarks in internal/pipeline (the serial
+# detect.Detector baseline plus the sharded engine at 1/2/4/8 shards) over
+# one recorded workload stream, and writes BENCH_pipeline.json at the repo
+# root with ns/op, events/sec and shard count per row. Configure with:
+#   BENCH_APP   workload name      (default radix)
+#   BENCH_SIZE  input size         (default simlarge)
+#   BENCH_TIME  go test -benchtime (default 3x)
+# Parallel speedup needs spare cores: with GOMAXPROCS=1 the sharded rows
+# measure queueing overhead and cache-locality gains only.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+app="${BENCH_APP:-radix}"
+size="${BENCH_SIZE:-simlarge}"
+benchtime="${BENCH_TIME:-3x}"
+out="BENCH_pipeline.json"
+
+echo "== bench: $app/$size (benchtime $benchtime, GOMAXPROCS=$(go env GOMAXPROCS 2>/dev/null || echo '?')) =="
+raw=$(BENCH_APP="$app" BENCH_SIZE="$size" go test -run '^$' -bench ProcessStream \
+	-benchtime "$benchtime" ./internal/pipeline/)
+echo "$raw"
+
+echo "$raw" | awk -v app="$app" -v size="$size" '
+/^Benchmark/ {
+	# $1 is e.g. BenchmarkSerialProcessStream, BenchmarkPipelineProcessStream/shards-4,
+	# or with GOMAXPROCS>1 a trailing -N suffix on either. Parse the shard
+	# count before touching the name so the suffix strip cannot eat it.
+	shards = 0 # 0 = the serial detector baseline
+	if (match($1, /\/shards-[0-9]+/)) shards = substr($1, RSTART + 8, RLENGTH - 8) + 0
+	name = (shards > 0) ? sprintf("pipeline/shards-%d", shards) : "serial"
+	ns = ""; ev = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "events/s") ev = $i
+	}
+	if (ns == "") next
+	rows[n++] = sprintf("    {\"name\": \"%s\", \"shards\": %d, \"ns_per_op\": %.0f, \"events_per_sec\": %.0f}",
+		name, shards, ns, ev)
+}
+END {
+	printf "{\n  \"workload\": \"%s\",\n  \"size\": \"%s\",\n  \"rows\": [\n", app, size
+	for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+	printf "  ]\n}\n"
+}' > "$out"
+
+echo "wrote $out"

@@ -1,8 +1,9 @@
 #!/bin/sh
 # tier1.sh — the repository's tier-1 verification gate (see ROADMAP.md).
 # Build, formatting, vet, the full test suite, and a race-detector pass over
-# the packages with lock-free hot paths (signature memory) and real
-# concurrency (the parallel engine mode).
+# the packages with lock-free hot paths (signature memory), real concurrency
+# (the parallel engine mode, the sharded analysis pipeline) and blocking
+# queues (the detect queue reproductions).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,7 +25,7 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (sig, exec) =="
-go test -race ./internal/sig/... ./internal/exec/...
+echo "== go test -race (sig, exec, pipeline, detect) =="
+go test -race ./internal/sig/... ./internal/exec/... ./internal/pipeline/... ./internal/detect/...
 
 echo "tier1: OK"

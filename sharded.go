@@ -1,0 +1,237 @@
+package commprof
+
+import (
+	"fmt"
+	"runtime"
+
+	"commprof/internal/comm"
+	"commprof/internal/detect"
+	"commprof/internal/exec"
+	"commprof/internal/obs"
+	"commprof/internal/pipeline"
+	"commprof/internal/splash"
+	"commprof/internal/trace"
+)
+
+// ShardPolicy names the sharded analyser's overload behaviour (what happens
+// to producers while a shard queue is full).
+type ShardPolicy string
+
+const (
+	// ShardPolicyBlock (the default) applies backpressure: producers block
+	// until the shard worker catches up. Analysis stays exhaustive; producer
+	// speed follows the slowest shard.
+	ShardPolicyBlock ShardPolicy = "block"
+	// ShardPolicyDegrade degrades to read sampling under overload: while a
+	// shard queue is saturated, only a burst fraction of reads is enqueued
+	// and the rest are dropped and counted (Report.Pipeline.DroppedReads).
+	// Writes are never dropped — losing a write would corrupt last-writer
+	// attribution rather than merely losing volume.
+	ShardPolicyDegrade ShardPolicy = "degrade"
+)
+
+func (p ShardPolicy) toInternal() (pipeline.OverloadPolicy, error) {
+	switch p {
+	case "", ShardPolicyBlock:
+		return pipeline.PolicyBlock, nil
+	case ShardPolicyDegrade:
+		return pipeline.PolicyDegrade, nil
+	}
+	return 0, fmt.Errorf("commprof: unknown shard policy %q (want %q or %q)", p, ShardPolicyBlock, ShardPolicyDegrade)
+}
+
+// newPipeline maps the public Options onto a sharded analysis engine whose
+// shards partition the configured signature slot budget.
+func newPipeline(opts Options, threads int, table *trace.Table, probes *obs.Probes) (*pipeline.Engine, error) {
+	shards := opts.AnalysisShards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("commprof: AnalysisShards must be non-negative, got %d", opts.AnalysisShards)
+	}
+	policy, err := opts.ShardPolicy.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.New(pipeline.Options{
+		Shards:          shards,
+		Threads:         threads,
+		Table:           table,
+		GranularityBits: opts.GranularityBits,
+		QueueCapacity:   opts.ShardQueueCapacity,
+		Policy:          policy,
+		NewBackend:      pipeline.AsymmetricFactory(opts.SignatureSlots, shards, threads, opts.BloomFPRate, probes.SigProbes()),
+		Probes:          probes.PipelineProbes(),
+	})
+}
+
+// sampledProbe composes read sampling in front of the pipeline: the same
+// burst-of-period per-thread gate as detect.Sampler, applied before enqueue
+// so skipped reads never cost a queue slot.
+func sampledProbe(inner exec.Probe, threads int, burst, period uint32) (exec.Probe, float64, error) {
+	gate, err := detect.NewGate(threads, burst, period)
+	if err != nil {
+		return nil, 0, err
+	}
+	probe := func(a trace.Access) {
+		if a.Kind == trace.Read && !gate.Admit(a.Thread) {
+			return
+		}
+		inner(a)
+	}
+	return probe, gate.Fraction(), nil
+}
+
+// profileSharded is Profile's pipeline-backed analysis path
+// (Options.AnalysisShards > 0).
+func profileSharded(opts Options, prog splash.Program, tel *Telemetry, probes *obs.Probes, setup *obs.SpanHandle) (*Report, error) {
+	if opts.PhaseWindow > 0 {
+		return nil, fmt.Errorf("commprof: PhaseWindow requires the serial analyser (set AnalysisShards to 0): phase segmentation consumes globally ordered events, which shard workers do not provide")
+	}
+	pe, err := newPipeline(opts, opts.Threads, prog.Table(), probes)
+	if err != nil {
+		return nil, err
+	}
+	probe := pe.Probe()
+	sampleFraction := 1.0
+	if opts.SamplePeriod > 0 {
+		probe, sampleFraction, err = sampledProbe(probe, opts.Threads, opts.SampleBurst, opts.SamplePeriod)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng := exec.New(exec.Options{
+		Threads: opts.Threads, Probe: probe, Parallel: opts.Parallel,
+		Probes: probes.EngineProbes(),
+	})
+	tel.wireRunSharded(eng, pe)
+	setup.End()
+	run := tel.span("engine-run")
+	stats, err := prog.Run(eng)
+	run.End()
+	if err != nil {
+		return nil, err
+	}
+	drain := tel.span("pipeline-drain")
+	pe.Close()
+	drain.End()
+	rep, tree, err := buildReportSharded(opts.Workload, opts.Threads, pe, stats, opts.MaxHotspots, tel)
+	if err != nil {
+		return nil, err
+	}
+	rep.SampleFraction = sampleFraction
+	tel.finishRun(rep, tree)
+	return rep, nil
+}
+
+// buildReportSharded drains a closed pipeline engine into the public report
+// form, attaching the Pipeline section.
+func buildReportSharded(name string, threads int, pe *pipeline.Engine, stats exec.Stats, maxHotspots int, tel *Telemetry) (*Report, *comm.Tree, error) {
+	build := tel.span("tree-build")
+	tree, err := pe.Tree()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := tree.CheckSummationLaw(); err != nil {
+		return nil, nil, fmt.Errorf("commprof: internal invariant violated: %w", err)
+	}
+	build.End()
+	st := pe.Stats()
+	rep, tree, err := reportFromTree(name, threads, tree, st.Detected, st.CommBytes, stats, pe.SigFootprintBytes(), maxHotspots, tel)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Pipeline = pipelineReport(pe)
+	return rep, tree, nil
+}
+
+// pipelineReport snapshots a closed engine's shard configuration and load.
+func pipelineReport(pe *pipeline.Engine) *PipelineReport {
+	sstats := pe.ShardStats()
+	rep := &PipelineReport{
+		Shards:         pe.Shards(),
+		QueueCapacity:  pe.QueueCapacity(),
+		Policy:         pe.Policy().String(),
+		DroppedReads:   pe.Stats().DroppedReads,
+		PeakDepths:     make([]int, len(sstats)),
+		ShardProcessed: make([]uint64, len(sstats)),
+	}
+	for i, s := range sstats {
+		rep.PeakDepths[i] = s.PeakDepth
+		rep.ShardProcessed[i] = s.Processed
+	}
+	return rep
+}
+
+// ProfileTraceParallel analyses a recorded access trace with the sharded
+// parallel pipeline instead of ProfileTrace's serial detector: addresses are
+// hashed across Options.AnalysisShards analysis shards (0 = GOMAXPROCS), each
+// with a private partition of the signature budget and its own worker. On a
+// collision-free run the result is identical to ProfileTrace; with the
+// approximate asymmetric signature the expected false-positive rate matches
+// but the specific collisions differ (see the internal/pipeline package
+// documentation).
+func ProfileTraceParallel(accesses []Access, regions []Region, threads int, opts Options) (*Report, error) {
+	opts.setDefaults()
+	if threads <= 0 {
+		return nil, fmt.Errorf("commprof: threads must be positive, got %d", threads)
+	}
+	table := trace.NewTable()
+	for _, r := range regions {
+		if r.Loop {
+			table.AddLoop(r.Name, r.Parent)
+		} else {
+			table.AddFunc(r.Name, r.Parent)
+		}
+	}
+	if err := table.Validate(); err != nil {
+		return nil, fmt.Errorf("commprof: invalid region list: %w", err)
+	}
+	pe, err := newPipeline(opts, threads, table, nil)
+	if err != nil {
+		return nil, err
+	}
+	var gate *detect.Gate
+	sampleFraction := 1.0
+	if opts.SamplePeriod > 0 {
+		gate, err = detect.NewGate(threads, opts.SampleBurst, opts.SamplePeriod)
+		if err != nil {
+			return nil, err
+		}
+		sampleFraction = gate.Fraction()
+	}
+	var stats exec.Stats
+	stream := make([]trace.Access, 0, len(accesses))
+	for i, a := range accesses {
+		if a.Thread < 0 || int(a.Thread) >= threads {
+			return nil, fmt.Errorf("commprof: access %d has thread %d out of range", i, a.Thread)
+		}
+		if a.Region != trace.NoRegion && (a.Region < 0 || int(a.Region) >= table.Len()) {
+			return nil, fmt.Errorf("commprof: access %d references unknown region %d", i, a.Region)
+		}
+		k := trace.Read
+		if a.Kind == WriteAccess {
+			k = trace.Write
+			stats.Writes++
+		} else {
+			stats.Reads++
+		}
+		stats.Accesses++
+		if gate != nil && k == trace.Read && !gate.Admit(a.Thread) {
+			continue
+		}
+		stream = append(stream, trace.Access{
+			Time: a.Time, Addr: a.Addr, Size: a.Size,
+			Thread: a.Thread, Region: a.Region, Kind: k,
+		})
+	}
+	pe.ProcessStream(stream)
+	pe.Close()
+	rep, _, err := buildReportSharded("trace", threads, pe, stats, opts.MaxHotspots, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep.SampleFraction = sampleFraction
+	return rep, nil
+}

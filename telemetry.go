@@ -11,6 +11,7 @@ import (
 	"commprof/internal/detect"
 	"commprof/internal/exec"
 	"commprof/internal/obs"
+	"commprof/internal/pipeline"
 	"commprof/internal/sig"
 )
 
@@ -118,6 +119,12 @@ type ProgressSnapshot struct {
 	BarrierEpochs uint64 `json:"barrier_epochs"`
 	// SkippedReads counts reads the sampler bypassed (0 without sampling).
 	SkippedReads uint64 `json:"skipped_reads"`
+	// ShardDepths is each analysis shard's live queue depth; nil unless the
+	// run uses the sharded pipeline (Options.AnalysisShards).
+	ShardDepths []int `json:"shard_depths,omitempty"`
+	// DroppedReads counts reads the sharded pipeline's degrade policy
+	// discarded under queue saturation (0 otherwise).
+	DroppedReads uint64 `json:"dropped_reads"`
 	// SigFilters / SigOccupancy / SigFillRatio describe signature
 	// saturation: allocated second-level bloom filters, the fraction of
 	// slots occupied, and the mean fill of a sample of filters.
@@ -243,6 +250,64 @@ func (t *Telemetry) wireRun(eng *exec.Engine, d *detect.Detector, backend *sig.A
 			SigFilters:     backend.AllocatedFilters(),
 			SigOccupancy:   backend.Occupancy(),
 			SigFillRatio:   backend.FillRatio(64),
+		}
+	})
+}
+
+// wireRunSharded binds the live-introspection sources to a run analysed by
+// the sharded pipeline: aggregate throughput gauges plus one depth gauge per
+// shard (pipeline_shard_<i>_depth). The signature-saturation gauges stay
+// unbound — shard partitions expose only the aggregate footprint.
+func (t *Telemetry) wireRunSharded(eng *exec.Engine, pe *pipeline.Engine) {
+	if t == nil {
+		return
+	}
+	start := time.Now()
+	t.start.Store(start)
+	t.tracer.SetClock(eng.Clock)
+	reg := t.reg
+	reg.GaugeFunc("exec_logical_clock", func() float64 { return float64(eng.Clock()) })
+	reg.GaugeFunc("exec_barrier_epochs", func() float64 { return float64(eng.BarrierEpochs()) })
+	reg.GaugeFunc("detect_accesses_processed", func() float64 { return float64(pe.Stats().Processed) })
+	reg.GaugeFunc("detect_comm_bytes", func() float64 { return float64(pe.Stats().CommBytes) })
+	reg.GaugeFunc("detect_accesses_per_sec", func() float64 {
+		elapsed := time.Since(start).Seconds()
+		if elapsed <= 0 {
+			return 0
+		}
+		return float64(pe.Stats().Processed) / elapsed
+	})
+	reg.GaugeFunc("sig_footprint_bytes", func() float64 { return float64(pe.SigFootprintBytes()) })
+	reg.GaugeFunc("pipeline_dropped_reads", func() float64 { return float64(pe.Stats().DroppedReads) })
+	for i := 0; i < pe.Shards(); i++ {
+		i := i
+		reg.GaugeFunc(fmt.Sprintf("pipeline_shard_%d_depth", i), func() float64 {
+			return float64(pe.ShardDepth(i))
+		})
+	}
+	t.progress.Store(func() ProgressSnapshot {
+		st := pe.Stats()
+		elapsed := time.Since(start).Seconds()
+		rate := 0.0
+		if elapsed > 0 {
+			rate = float64(st.Processed) / elapsed
+		}
+		depths := make([]int, pe.Shards())
+		for i := range depths {
+			depths[i] = pe.ShardDepth(i)
+		}
+		return ProgressSnapshot{
+			Phase:          t.tracer.Current(),
+			ElapsedSeconds: elapsed,
+			Clock:          eng.Clock(),
+			Accesses:       st.Processed,
+			AccessesPerSec: rate,
+			Dependencies:   st.Detected,
+			CommBytes:      st.CommBytes,
+			PerThread:      eng.ThreadProgress(),
+			BarrierEpochs:  eng.BarrierEpochs(),
+			ShardDepths:    depths,
+			DroppedReads:   st.DroppedReads,
 		}
 	})
 }
