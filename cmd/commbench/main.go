@@ -146,6 +146,13 @@ var runners = map[string]runner{
 		}
 		return r.Render(), nil
 	},
+	"replay": func(env experiments.Env) (string, error) {
+		r, err := experiments.StreamReplay(env, "radix", splash.SimDev, 4)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
 	"eq2": func(env experiments.Env) (string, error) {
 		var b strings.Builder
 		b.WriteString("Eq. 2 — SigMem(n, t, FPRate) in MB\n")

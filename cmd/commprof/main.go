@@ -49,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		gran     = fs.Uint("granularity", 0, "analysis granularity in address bits (0 = per address, 6 = 64B lines)")
 		shards   = fs.Int("shards", 0, "analysis shards for the parallel pipeline (0 = serial in-thread analysis)")
 		shardQ   = fs.Int("shard-queue", 0, "per-shard bounded queue capacity in accesses (0 = default 8192)")
+		shardB   = fs.Int("shard-batch", 0, "producer staging batch / worker drain limit in accesses (0 = default 256)")
 		shardPol = fs.String("shard-policy", "block", "shard overload policy: block (backpressure) or degrade (thin reads while saturated)")
 		record   = fs.String("record", "", "also write the access trace to this file")
 		replay   = fs.String("replay", "", "analyse a recorded trace file instead of running a benchmark")
@@ -80,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *shards > 0 {
 		opts.ShardQueueCapacity = *shardQ
+		opts.ShardBatchSize = *shardB
 		opts.ShardPolicy = commprof.ShardPolicy(*shardPol)
 	}
 	if *sample > 0 {

@@ -93,6 +93,12 @@ type Options struct {
 	// thins reads while a queue is saturated. Ignored when AnalysisShards
 	// is 0.
 	ShardPolicy ShardPolicy
+	// ShardBatchSize sets the sharded analyser's producer staging batch and
+	// worker drain limit in accesses (0 = the pipeline default of 256).
+	// Larger batches amortise shard-queue locking further; smaller ones
+	// reduce detection latency and staging residency. Ignored when
+	// AnalysisShards is 0.
+	ShardBatchSize int
 	// Telemetry, when non-nil, threads self-observability probes through
 	// the signature, detector and executor layers, records run-phase spans,
 	// and attaches an end-of-run snapshot as Report.Telemetry. See

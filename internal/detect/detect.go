@@ -167,6 +167,16 @@ func (d *Detector) ProcessStream(accesses []trace.Access) {
 	}
 }
 
+// ProcessBatch runs the detector over one drained queue batch in order — the
+// shard worker's unit of work in the sharded pipeline. Identical to
+// ProcessStream; the distinct name records that a batch is a window of one
+// shard's FIFO, not a whole temporally ordered stream.
+func (d *Detector) ProcessBatch(batch []trace.Access) {
+	for _, a := range batch {
+		d.Process(a)
+	}
+}
+
 // Global returns the whole-program communication matrix.
 func (d *Detector) Global() *comm.Matrix { return d.global }
 

@@ -48,6 +48,17 @@ type PipelineProbes struct {
 	// QueueDepth is the shard queue depth sampled at each worker drain,
 	// the throughput-facing complement of the per-shard live depth gauges.
 	QueueDepth *Histogram
+	// ProducerFlushes counts producer staging-buffer flushes (batch-full,
+	// quantum-switch and end-of-stream flushes alike); Enqueued over
+	// ProducerFlushes is the realised enqueue amortization factor.
+	ProducerFlushes *Counter
+}
+
+// TraceProbes instruments the incremental trace codec (internal/trace).
+type TraceProbes struct {
+	// DecodedRecords counts access records the streaming Decoder has decoded
+	// — the progress feed of a long offline replay.
+	DecodedRecords *Counter
 }
 
 // EngineProbes instruments the simulated-thread executor.
@@ -67,6 +78,7 @@ type Probes struct {
 	Detect   *DetectProbes
 	Engine   *EngineProbes
 	Pipeline *PipelineProbes
+	Trace    *TraceProbes
 }
 
 // DefaultProbes wires a full probe set into r under the standard metric
@@ -92,11 +104,15 @@ func DefaultProbes(r *Registry) *Probes {
 			LockWaits:       r.Counter("exec_lock_waits_total"),
 		},
 		Pipeline: &PipelineProbes{
-			Enqueued:      r.Counter("pipeline_enqueued_total"),
-			DroppedReads:  r.Counter("pipeline_dropped_reads_total"),
-			EnqueueStalls: r.Counter("pipeline_enqueue_stalls_total"),
-			BatchSizes:    r.Histogram("pipeline_batch_size"),
-			QueueDepth:    r.Histogram("pipeline_queue_depth"),
+			Enqueued:        r.Counter("pipeline_enqueued_total"),
+			DroppedReads:    r.Counter("pipeline_dropped_reads_total"),
+			EnqueueStalls:   r.Counter("pipeline_enqueue_stalls_total"),
+			BatchSizes:      r.Histogram("pipeline_batch_size"),
+			QueueDepth:      r.Histogram("pipeline_queue_depth"),
+			ProducerFlushes: r.Counter("pipeline_producer_flushes_total"),
+		},
+		Trace: &TraceProbes{
+			DecodedRecords: r.Counter("trace_decoded_records_total"),
 		},
 	}
 }
@@ -131,4 +147,12 @@ func (p *Probes) PipelineProbes() *PipelineProbes {
 		return nil
 	}
 	return p.Pipeline
+}
+
+// TraceProbes returns the trace-codec bundle; nil-safe.
+func (p *Probes) TraceProbes() *TraceProbes {
+	if p == nil {
+		return nil
+	}
+	return p.Trace
 }

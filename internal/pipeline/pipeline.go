@@ -260,9 +260,7 @@ func (s *shard) worker(batch int, p *obs.PipelineProbes, wg *sync.WaitGroup) {
 		// Broadcast, not Signal: several producers may block on one shard in
 		// parallel engine mode and k freed slots can admit all of them.
 		s.notFull.Broadcast()
-		for _, a := range scratch[:k] {
-			s.d.Process(a)
-		}
+		s.d.ProcessBatch(scratch[:k])
 		s.processed.Add(uint64(k))
 		if p != nil {
 			p.BatchSizes.Observe(uint64(k))
@@ -280,6 +278,9 @@ type Engine struct {
 
 	gate    *detect.Gate
 	dropped atomic.Uint64
+
+	prodMu    sync.Mutex
+	producers []*Producer
 
 	closeOnce sync.Once
 	closed    atomic.Bool
@@ -368,39 +369,132 @@ func (e *Engine) Probe() exec.Probe {
 	return func(a trace.Access) { e.Process(a) }
 }
 
+// Producer is a per-producer staging handle in front of the shard queues:
+// accesses accumulate in private per-shard buffers and are enqueued as whole
+// batches, amortising queue locking across BatchSize accesses the way
+// ProcessStream always did for replay. A Producer is not safe for concurrent
+// use — give each producing goroutine its own (its buffers are private, so
+// parallel producers never contend on staging). Call Flush before Close to
+// push out any staged remainder.
+//
+// Staged accesses are invisible to shard workers until a flush, so a
+// producer's resident footprint is at most Shards×BatchSize accesses and the
+// detection latency of a staged access is bounded by its buffer's fill time
+// plus the configured flush triggers.
+type Producer struct {
+	e       *Engine
+	pending [][]trace.Access
+	staged  int
+
+	// flushOnThreadSwitch flushes all staged batches whenever the producing
+	// thread changes between consecutive accesses. The deterministic
+	// scheduler interleaves threads only at quantum boundaries, so this is
+	// the quantum-switch trigger: it preserves the exact global arrival
+	// order across threads (thread A's staged accesses reach the queues
+	// before thread B's first enqueue), keeping single-producer staging
+	// order-exact even when one handle carries every thread's accesses.
+	flushOnThreadSwitch bool
+	lastThread          int32
+	hasLast             bool
+
+	// peak/flushes are written only by the owning goroutine but read by
+	// concurrent stats snapshots, hence atomics.
+	peak    atomic.Int64
+	flushes atomic.Uint64
+}
+
+// NewProducer returns a staging handle for one producing goroutine.
+// flushOnThreadSwitch selects the deterministic-scheduler mode described on
+// Producer; leave it false when every access the handle sees comes from one
+// thread (parallel engine mode) or when stream order alone fixes per-shard
+// order (single-producer replay).
+func (e *Engine) NewProducer(flushOnThreadSwitch bool) *Producer {
+	p := &Producer{
+		e:                   e,
+		pending:             make([][]trace.Access, len(e.shards)),
+		flushOnThreadSwitch: flushOnThreadSwitch,
+	}
+	for i := range p.pending {
+		p.pending[i] = make([]trace.Access, 0, e.opts.BatchSize)
+	}
+	e.prodMu.Lock()
+	e.producers = append(e.producers, p)
+	e.prodMu.Unlock()
+	return p
+}
+
+// Process stages one access, flushing the target shard's batch when it
+// reaches BatchSize (and, in flushOnThreadSwitch mode, flushing everything
+// staged when the producing thread changes).
+func (p *Producer) Process(a trace.Access) {
+	if p.flushOnThreadSwitch {
+		if p.hasLast && a.Thread != p.lastThread && p.staged > 0 {
+			p.Flush()
+		}
+		p.lastThread = a.Thread
+		p.hasLast = true
+	}
+	e := p.e
+	i := e.route(a.Addr)
+	s := e.shards[i]
+	if e.gate != nil && a.Kind == trace.Read && s.depth.Load() >= int64(s.capacity()) {
+		if !e.gate.Admit(a.Thread) {
+			e.dropped.Add(1)
+			if pr := e.opts.Probes; pr != nil {
+				pr.DroppedReads.Inc()
+			}
+			return
+		}
+	}
+	p.pending[i] = append(p.pending[i], a)
+	p.staged++
+	if int64(p.staged) > p.peak.Load() {
+		p.peak.Store(int64(p.staged))
+	}
+	if len(p.pending[i]) == e.opts.BatchSize {
+		s.enqueue(p.pending[i], e.opts.Probes)
+		p.pending[i] = p.pending[i][:0]
+		p.staged -= e.opts.BatchSize
+		p.noteFlush()
+	}
+}
+
+// Flush enqueues every staged batch. Call it when the producer is done (or
+// at any ordering boundary); staged accesses are otherwise invisible to the
+// shard workers.
+func (p *Producer) Flush() {
+	flushed := false
+	for i, batch := range p.pending {
+		if len(batch) > 0 {
+			p.e.shards[i].enqueue(batch, p.e.opts.Probes)
+			p.pending[i] = p.pending[i][:0]
+			flushed = true
+		}
+	}
+	p.staged = 0
+	if flushed {
+		p.noteFlush()
+	}
+}
+
+func (p *Producer) noteFlush() {
+	p.flushes.Add(1)
+	if pr := p.e.opts.Probes; pr != nil {
+		pr.ProducerFlushes.Inc()
+	}
+}
+
 // ProcessStream feeds a recorded access stream through the pipeline with
 // per-shard batching. Single producer only: concurrent callers would
 // interleave their staging batches and break per-address order. Per-shard
 // order equals stream order, so results are deterministic for a fixed stream
 // and shard count.
 func (e *Engine) ProcessStream(accesses []trace.Access) {
-	pending := make([][]trace.Access, len(e.shards))
-	for i := range pending {
-		pending[i] = make([]trace.Access, 0, e.opts.BatchSize)
-	}
+	p := e.NewProducer(false)
 	for _, a := range accesses {
-		i := e.route(a.Addr)
-		s := e.shards[i]
-		if e.gate != nil && a.Kind == trace.Read && s.depth.Load() >= int64(s.capacity()) {
-			if !e.gate.Admit(a.Thread) {
-				e.dropped.Add(1)
-				if p := e.opts.Probes; p != nil {
-					p.DroppedReads.Inc()
-				}
-				continue
-			}
-		}
-		pending[i] = append(pending[i], a)
-		if len(pending[i]) == e.opts.BatchSize {
-			s.enqueue(pending[i], e.opts.Probes)
-			pending[i] = pending[i][:0]
-		}
+		p.Process(a)
 	}
-	for i, batch := range pending {
-		if len(batch) > 0 {
-			e.shards[i].enqueue(batch, e.opts.Probes)
-		}
-	}
+	p.Flush()
 }
 
 // Close drains every shard queue, stops the workers and merges shard results.
@@ -518,6 +612,41 @@ func (e *Engine) ShardStats() []ShardStat {
 
 // ShardDepth reports shard i's current queue depth — the live gauge source.
 func (e *Engine) ShardDepth(i int) int { return e.shards[i].Depth() }
+
+// ProducerFlushes sums staging-buffer flushes across all producers; safe
+// while the run is in flight.
+func (e *Engine) ProducerFlushes() uint64 {
+	e.prodMu.Lock()
+	defer e.prodMu.Unlock()
+	var total uint64
+	for _, p := range e.producers {
+		total += p.flushes.Load()
+	}
+	return total
+}
+
+// PeakResidentAccesses bounds the engine's in-flight access residency: the
+// sum of every shard's peak queue depth plus every producer's peak staging
+// occupancy. This is the O(queue depth + staging) quantity streaming replay
+// holds resident instead of the whole trace (worker drain scratch adds at
+// most Shards×BatchSize on top). Safe while the run is in flight.
+func (e *Engine) PeakResidentAccesses() int {
+	total := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		total += s.peak
+		s.mu.Unlock()
+	}
+	e.prodMu.Lock()
+	for _, p := range e.producers {
+		total += int(p.peak.Load())
+	}
+	e.prodMu.Unlock()
+	return total
+}
+
+// BatchSize reports the configured producer staging / worker drain batch.
+func (e *Engine) BatchSize() int { return e.opts.BatchSize }
 
 // QueueCapacity reports the per-shard bound.
 func (e *Engine) QueueCapacity() int { return e.opts.QueueCapacity }

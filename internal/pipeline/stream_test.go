@@ -1,0 +1,165 @@
+package pipeline
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"commprof/internal/comm"
+	"commprof/internal/splash"
+	"commprof/internal/trace"
+)
+
+// TestStreamingReplayMatchesMaterialised is the replay-path property test: on
+// every bundled workload, feeding the pipeline record by record from an
+// incremental trace.Decoder (the O(queue depth) replay path) is bit-identical
+// to materialising the whole access slice and calling ProcessStream, under
+// randomised shard counts, queue capacities and batch sizes. The exact
+// backend makes any ordering divergence visible as a matrix or tree
+// mismatch; the failure message carries the sampled configuration so a
+// counterexample replays deterministically.
+func TestStreamingReplayMatchesMaterialised(t *testing.T) {
+	const threads = 8
+	const seed = 20150901 // any failure reproduces: the rng is per-workload
+	for wi, name := range splash.Names() {
+		wi, name := wi, name
+		t.Run(name, func(t *testing.T) {
+			stream, table := recordStream(t, name, threads)
+
+			var buf bytes.Buffer
+			enc, err := trace.NewEncoder(&buf, table, len(stream))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range stream {
+				if err := enc.Write(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := enc.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(seed + int64(wi)))
+			for trial := 0; trial < 3; trial++ {
+				shards := 1 + rng.Intn(8)
+				queueCap := 16 << rng.Intn(6) // 16 .. 512
+				batch := 1 << rng.Intn(7)     // 1 .. 64, may exceed queueCap (clamped)
+				cfg := fmt.Sprintf("seed=%d workload=%s trial=%d shards=%d queue=%d batch=%d",
+					seed+int64(wi), name, trial, shards, queueCap, batch)
+
+				opts := Options{
+					Shards: shards, Threads: threads, Table: table,
+					QueueCapacity: queueCap, BatchSize: batch,
+					NewBackend: PerfectFactory(threads),
+				}
+
+				mat, err := New(opts)
+				if err != nil {
+					t.Fatalf("%s: materialised engine: %v", cfg, err)
+				}
+				mat.ProcessStream(stream)
+				mat.Close()
+				wantGlobal, err := mat.Global()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantTree, err := mat.Tree()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				dec, err := trace.NewDecoder(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("%s: NewDecoder: %v", cfg, err)
+				}
+				sOpts := opts
+				sOpts.Table = dec.Table() // the decoded table must be equivalent
+				str, err := New(sOpts)
+				if err != nil {
+					t.Fatalf("%s: streaming engine: %v", cfg, err)
+				}
+				p := str.NewProducer(false)
+				if err := dec.ForEach(func(a trace.Access) error {
+					p.Process(a)
+					return nil
+				}); err != nil {
+					t.Fatalf("%s: streaming decode: %v", cfg, err)
+				}
+				p.Flush()
+				str.Close()
+
+				gotGlobal, err := str.Global()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !gotGlobal.Equal(wantGlobal) {
+					t.Fatalf("%s: streaming global matrix differs from materialised", cfg)
+				}
+				gotTree, err := str.Tree()
+				if err != nil {
+					t.Fatal(err)
+				}
+				mismatches := 0
+				wantTree.Walk(func(n *comm.Node, _ int) {
+					m, ok := gotTree.Node(n.Region.ID)
+					if !ok || !m.Own.Equal(n.Own) || !m.Cumulative.Equal(n.Cumulative) || m.Accesses != n.Accesses {
+						mismatches++
+					}
+				})
+				if mismatches > 0 {
+					t.Fatalf("%s: %d region nodes differ between streaming and materialised replay", cfg, mismatches)
+				}
+
+				if got := str.PeakResidentAccesses(); got <= 0 && len(stream) > 0 {
+					t.Fatalf("%s: PeakResidentAccesses = %d on a non-empty replay", cfg, got)
+				}
+			}
+		})
+	}
+}
+
+// TestProducerThreadSwitchFlushIsOrderExact pins the deterministic-engine
+// staging mode: a single flushOnThreadSwitch producer carrying a
+// multi-threaded interleaved stream must match unstaged per-access Process
+// exactly, because every staged batch drains before the next thread's first
+// access is enqueued.
+func TestProducerThreadSwitchFlushIsOrderExact(t *testing.T) {
+	const threads = 8
+	stream, table := recordStream(t, "radix", threads)
+
+	run := func(feed func(e *Engine)) *comm.Matrix {
+		e, err := New(Options{
+			Shards: 4, Threads: threads, Table: table,
+			QueueCapacity: 64, BatchSize: 16,
+			NewBackend: PerfectFactory(threads),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(e)
+		e.Close()
+		g, err := e.Global()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	unstaged := run(func(e *Engine) {
+		for _, a := range stream {
+			e.Process(a)
+		}
+	})
+	staged := run(func(e *Engine) {
+		p := e.NewProducer(true)
+		for _, a := range stream {
+			p.Process(a)
+		}
+		p.Flush()
+	})
+	if !staged.Equal(unstaged) {
+		t.Fatal("thread-switch-flushed producer diverges from unstaged Process")
+	}
+}

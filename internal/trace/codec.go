@@ -21,102 +21,50 @@ const (
 	accessRecLen = 8 + 8 + 4 + 4 + 4 + 1
 )
 
-// Encode writes the stream in a compact little-endian binary format.
+// Encode writes the stream in a compact little-endian binary format. It is a
+// materialised wrapper over NewEncoder: header and region table first, then
+// one record per access.
 func (s *Stream) Encode(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	hdr := make([]byte, 16)
-	binary.LittleEndian.PutUint32(hdr[0:], codecMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], codecVersion)
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(s.Table.Len()))
-	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(s.Accesses)))
-	if _, err := bw.Write(hdr); err != nil {
-		return fmt.Errorf("trace: write header: %w", err)
+	enc, err := NewEncoder(w, s.Table, len(s.Accesses))
+	if err != nil {
+		return err
 	}
-	for _, r := range s.Table.Regions {
-		var buf [9]byte
-		binary.LittleEndian.PutUint32(buf[0:], uint32(r.ID))
-		binary.LittleEndian.PutUint32(buf[4:], uint32(r.Parent))
-		buf[8] = byte(r.Kind)
-		if _, err := bw.Write(buf[:]); err != nil {
-			return fmt.Errorf("trace: write region: %w", err)
-		}
-		if err := writeString(bw, r.Name); err != nil {
+	for _, a := range s.Accesses {
+		if err := enc.Write(a); err != nil {
 			return err
 		}
 	}
-	rec := make([]byte, accessRecLen)
-	for _, a := range s.Accesses {
-		binary.LittleEndian.PutUint64(rec[0:], a.Time)
-		binary.LittleEndian.PutUint64(rec[8:], a.Addr)
-		binary.LittleEndian.PutUint32(rec[16:], a.Size)
-		binary.LittleEndian.PutUint32(rec[20:], uint32(a.Thread))
-		binary.LittleEndian.PutUint32(rec[24:], uint32(a.Region))
-		rec[28] = byte(a.Kind)
-		if _, err := bw.Write(rec); err != nil {
-			return fmt.Errorf("trace: write access: %w", err)
-		}
-	}
-	return bw.Flush()
+	return enc.Close()
 }
 
-// Decode reads a stream previously written by Encode.
+// Decode reads a stream previously written by Encode, materialising every
+// access. It is a wrapper over the incremental Decoder; callers that feed an
+// analyser record by record (Replay, the sharded pipeline) should use
+// NewDecoder directly and keep resident memory at O(region table).
 func Decode(r io.Reader) (*Stream, error) {
-	br := bufio.NewReader(r)
-	hdr := make([]byte, 16)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, fmt.Errorf("trace: read header: %w", err)
-	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != codecMagic {
-		return nil, fmt.Errorf("trace: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != codecVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
-	}
-	nRegions := binary.LittleEndian.Uint32(hdr[8:])
-	nAccesses := binary.LittleEndian.Uint32(hdr[12:])
-	s := &Stream{Table: NewTable()}
-	for i := uint32(0); i < nRegions; i++ {
-		var buf [9]byte
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("trace: read region %d: %w", i, err)
-		}
-		name, err := readString(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: read region %d name: %w", i, err)
-		}
-		s.Table.Regions = append(s.Table.Regions, Region{
-			ID:     int32(binary.LittleEndian.Uint32(buf[0:])),
-			Parent: int32(binary.LittleEndian.Uint32(buf[4:])),
-			Kind:   RegionKind(buf[8]),
-			Name:   name,
-		})
-	}
-	if err := s.Table.Validate(); err != nil {
+	d, err := NewDecoder(r)
+	if err != nil {
 		return nil, err
 	}
-	// Cap the preallocation: nAccesses is untrusted input, and a crafted
-	// header must not drive a multi-gigabyte allocation before the read
-	// inevitably hits EOF (found by FuzzDecode).
-	prealloc := nAccesses
+	s := &Stream{Table: d.Table()}
+	// Cap the preallocation: the declared count is untrusted input, and a
+	// crafted header must not drive a multi-gigabyte allocation before the
+	// read inevitably hits EOF (found by FuzzDecode).
+	prealloc := d.Len()
 	if prealloc > 1<<20 {
 		prealloc = 1 << 20
 	}
 	s.Accesses = make([]Access, 0, prealloc)
-	rec := make([]byte, accessRecLen)
-	for i := uint32(0); i < nAccesses; i++ {
-		if _, err := io.ReadFull(br, rec); err != nil {
-			return nil, fmt.Errorf("trace: read access %d: %w", i, err)
+	for {
+		a, err := d.Next()
+		if err == io.EOF {
+			return s, nil
 		}
-		s.Accesses = append(s.Accesses, Access{
-			Time:   binary.LittleEndian.Uint64(rec[0:]),
-			Addr:   binary.LittleEndian.Uint64(rec[8:]),
-			Size:   binary.LittleEndian.Uint32(rec[16:]),
-			Thread: int32(binary.LittleEndian.Uint32(rec[20:])),
-			Region: int32(binary.LittleEndian.Uint32(rec[24:])),
-			Kind:   Kind(rec[28]),
-		})
+		if err != nil {
+			return nil, err
+		}
+		s.Accesses = append(s.Accesses, a)
 	}
-	return s, nil
 }
 
 func writeString(w *bufio.Writer, s string) error {

@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"commprof/internal/obs"
+)
+
+// This file is the incremental half of the codec: an Encoder that writes the
+// binary trace format record by record, and a Decoder that reads it back the
+// same way. The format itself is unchanged from the one-shot Stream.Encode /
+// Decode pair (which are now thin wrappers over these types):
+//
+//	header       16 bytes: magic "CPMT", version, region count, access count
+//	region table per region: id, parent, kind, length-prefixed name
+//	access section one fixed-size record per access (accessRecLen bytes)
+//
+// The point of the split is memory: replaying a recorded trace through the
+// sharded pipeline only ever needs one access in flight per producer plus the
+// bounded shard queues, so decoding must not materialise the whole access
+// section first. A Decoder holds the region table (small, static) and a
+// single record buffer; resident memory is O(region table), not O(accesses).
+//
+// Error semantics are strict: any truncated or corrupt access record fails
+// with a "record i of n" error (1-based, n the header's declared count), and
+// a clean end before n records is reported the same way wrapping
+// io.ErrUnexpectedEOF. io.EOF from Next means exactly "all n records
+// decoded".
+
+// Encoder writes a trace stream incrementally: header and region table up
+// front, then one access record per Write call. The declared access count is
+// part of the header, so it must be known at construction; Close verifies the
+// caller delivered exactly that many records.
+type Encoder struct {
+	bw   *bufio.Writer
+	n, i uint32
+}
+
+// NewEncoder writes the stream header and region table to w and returns an
+// encoder expecting exactly accesses Write calls.
+func NewEncoder(w io.Writer, table *Table, accesses int) (*Encoder, error) {
+	if table == nil {
+		return nil, fmt.Errorf("trace: encoder requires a region table")
+	}
+	if err := table.Validate(); err != nil {
+		return nil, err
+	}
+	if accesses < 0 || int64(accesses) > math.MaxUint32 {
+		return nil, fmt.Errorf("trace: access count %d outside the format's uint32 range", accesses)
+	}
+	bw := bufio.NewWriter(w)
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], codecMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], codecVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(table.Len()))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(accesses))
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, r := range table.Regions {
+		var buf [9]byte
+		binary.LittleEndian.PutUint32(buf[0:], uint32(r.ID))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(r.Parent))
+		buf[8] = byte(r.Kind)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: write region: %w", err)
+		}
+		if err := writeString(bw, r.Name); err != nil {
+			return nil, err
+		}
+	}
+	return &Encoder{bw: bw, n: uint32(accesses)}, nil
+}
+
+// Write appends one access record. It errors once the declared count is
+// exhausted.
+func (e *Encoder) Write(a Access) error {
+	if e.i == e.n {
+		return fmt.Errorf("trace: encode access record %d of %d: declared count exhausted", e.i+1, e.n)
+	}
+	var rec [accessRecLen]byte
+	binary.LittleEndian.PutUint64(rec[0:], a.Time)
+	binary.LittleEndian.PutUint64(rec[8:], a.Addr)
+	binary.LittleEndian.PutUint32(rec[16:], a.Size)
+	binary.LittleEndian.PutUint32(rec[20:], uint32(a.Thread))
+	binary.LittleEndian.PutUint32(rec[24:], uint32(a.Region))
+	rec[28] = byte(a.Kind)
+	if _, err := e.bw.Write(rec[:]); err != nil {
+		return fmt.Errorf("trace: write access record %d of %d: %w", e.i+1, e.n, err)
+	}
+	e.i++
+	return nil
+}
+
+// Close flushes buffered output. It errors if fewer records than declared
+// were written — the stream on disk would decode as truncated.
+func (e *Encoder) Close() error {
+	if e.i != e.n {
+		return fmt.Errorf("trace: encoded %d of %d declared access records", e.i, e.n)
+	}
+	return e.bw.Flush()
+}
+
+// Decoder reads a trace stream incrementally. NewDecoder consumes the header
+// and region table; each Next call then decodes one access record. The
+// decoder never buffers more than one record, so arbitrarily large traces
+// replay at O(region table) resident memory.
+type Decoder struct {
+	// Probes, when non-nil, receives decode-progress telemetry (one count per
+	// record). Set it before the first Next call; nil keeps decoding
+	// uninstrumented.
+	Probes *obs.TraceProbes
+
+	br    *bufio.Reader
+	table *Table
+	n, i  uint32
+	rec   [accessRecLen]byte // reused record buffer: Next is allocation-free
+	err   error              // sticky failure; io.EOF is not stored here
+}
+
+// NewDecoder reads and validates the stream header and region table from r.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != codecMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != codecVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	nRegions := binary.LittleEndian.Uint32(hdr[8:])
+	d := &Decoder{
+		br:    br,
+		table: NewTable(),
+		n:     binary.LittleEndian.Uint32(hdr[12:]),
+	}
+	for i := uint32(0); i < nRegions; i++ {
+		var buf [9]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: read region %d: %w", i, err)
+		}
+		name, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: read region %d name: %w", i, err)
+		}
+		d.table.Regions = append(d.table.Regions, Region{
+			ID:     int32(binary.LittleEndian.Uint32(buf[0:])),
+			Parent: int32(binary.LittleEndian.Uint32(buf[4:])),
+			Kind:   RegionKind(buf[8]),
+			Name:   name,
+		})
+	}
+	if err := d.table.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Table returns the decoded region table.
+func (d *Decoder) Table() *Table { return d.table }
+
+// Len returns the access-record count the header declares.
+func (d *Decoder) Len() int { return int(d.n) }
+
+// Decoded returns how many access records have been decoded so far — the
+// progress feed for live introspection of a long replay.
+func (d *Decoder) Decoded() int { return int(d.i) }
+
+// Next decodes one access record. It returns io.EOF after exactly Len
+// records; a truncated or unreadable record fails with "record i of n"
+// context (wrapping io.ErrUnexpectedEOF on truncation). Errors are sticky.
+func (d *Decoder) Next() (Access, error) {
+	if d.err != nil {
+		return Access{}, d.err
+	}
+	if d.i == d.n {
+		return Access{}, io.EOF
+	}
+	if _, err := io.ReadFull(d.br, d.rec[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		d.err = fmt.Errorf("trace: read access record %d of %d: %w", d.i+1, d.n, err)
+		return Access{}, d.err
+	}
+	a := Access{
+		Time:   binary.LittleEndian.Uint64(d.rec[0:]),
+		Addr:   binary.LittleEndian.Uint64(d.rec[8:]),
+		Size:   binary.LittleEndian.Uint32(d.rec[16:]),
+		Thread: int32(binary.LittleEndian.Uint32(d.rec[20:])),
+		Region: int32(binary.LittleEndian.Uint32(d.rec[24:])),
+		Kind:   Kind(d.rec[28]),
+	}
+	d.i++
+	if p := d.Probes; p != nil {
+		p.DecodedRecords.Inc()
+	}
+	return a, nil
+}
+
+// ForEach decodes every remaining record through fn, stopping on the first
+// decode error or non-nil fn result.
+func (d *Decoder) ForEach(fn func(Access) error) error {
+	for {
+		a, err := d.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(a); err != nil {
+			return err
+		}
+	}
+}

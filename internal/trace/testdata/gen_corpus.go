@@ -1,0 +1,110 @@
+//go:build ignore
+
+// Generates the committed fuzz seed corpora under testdata/fuzz/. Each file
+// is in the Go fuzzing corpus format ("go test fuzz v1") so `go test -fuzz`
+// picks it up alongside the f.Add seeds. Run from internal/trace:
+//
+//	go run testdata/gen_corpus.go
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+func main() {
+	// A valid two-region, three-access stream built against the wire format
+	// directly (header, region table, fixed 29-byte records) so this
+	// generator has no dependency on the package under test.
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	hdr := make([]byte, 16)
+	le.PutUint32(hdr[0:], 0x43504d54) // "CPMT"
+	le.PutUint32(hdr[4:], 1)          // version
+	le.PutUint32(hdr[8:], 2)          // regions
+	le.PutUint32(hdr[12:], 3)         // accesses
+	buf.Write(hdr)
+	writeRegion(&buf, 0, -1, 0, "main")
+	writeRegion(&buf, 1, 0, 1, "main#0")
+	writeAccess(&buf, 1, 0x1000, 8, 0, 1, 1) // write
+	writeAccess(&buf, 2, 0x1000, 8, 1, 1, 0) // read
+	writeAccess(&buf, 3, 0x2000, 4, 2, 0, 0)
+	valid := buf.Bytes()
+
+	truncated := valid[:len(valid)-10]
+	corrupt := append([]byte(nil), valid...)
+	corrupt[12] ^= 0x40 // access count
+
+	byteSeeds := map[string][][]byte{
+		"FuzzDecode":  {valid, truncated, corrupt},
+		"FuzzDecoder": {valid, truncated, corrupt, valid[:20]},
+	}
+	for target, seeds := range byteSeeds {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for i, seed := range seeds {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+			if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%d", i)), []byte(body), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// FuzzStreamRoundTrip takes generator parameters, not raw bytes:
+	// (seed int64, nRegions byte, nAccesses, cut, xorPos uint16, xor byte).
+	rtSeeds := [][]any{
+		{int64(99), byte(5), uint16(200), uint16(100), uint16(30), byte(0x01)},
+		{int64(-1), byte(15), uint16(1023), uint16(500), uint16(16), byte(0xff)},
+		{int64(0), byte(0), uint16(1), uint16(20), uint16(28), byte(0x10)},
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzStreamRoundTrip")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for i, vals := range rtSeeds {
+		body := "go test fuzz v1\n"
+		for _, v := range vals {
+			switch v := v.(type) {
+			case int64:
+				body += fmt.Sprintf("int64(%d)\n", v)
+			case byte:
+				body += fmt.Sprintf("byte(%#x)\n", v)
+			case uint16:
+				body += fmt.Sprintf("uint16(%d)\n", v)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%d", i)), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func writeRegion(buf *bytes.Buffer, id, parent int32, kind byte, name string) {
+	var b [9]byte
+	binary.LittleEndian.PutUint32(b[0:], uint32(id))
+	binary.LittleEndian.PutUint32(b[4:], uint32(parent))
+	b[8] = kind
+	buf.Write(b[:])
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(name)))
+	buf.Write(l[:])
+	buf.WriteString(name)
+}
+
+func writeAccess(buf *bytes.Buffer, time, addr uint64, size uint32, thread, region int32, kind byte) {
+	var b [29]byte
+	binary.LittleEndian.PutUint64(b[0:], time)
+	binary.LittleEndian.PutUint64(b[8:], addr)
+	binary.LittleEndian.PutUint32(b[16:], size)
+	binary.LittleEndian.PutUint32(b[20:], uint32(thread))
+	binary.LittleEndian.PutUint32(b[24:], uint32(region))
+	b[28] = kind
+	buf.Write(b[:])
+}

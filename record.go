@@ -61,19 +61,28 @@ func Record(opts Options, w io.Writer) (*Report, error) {
 // Replay runs the profiler offline over a trace previously written by
 // Record. threads must match the recording's thread count (the matrix
 // dimension); it is validated against the trace contents.
+//
+// Replay decodes the trace incrementally: the region table is read up front
+// and each access record then flows straight into the analyser, so resident
+// memory is O(region table) for the serial detector and O(region table +
+// shard queues + staging) with AnalysisShards — never O(accesses). A
+// truncated or corrupt access section fails with "record i of n" context
+// after the prefix before it has been analysed.
 func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 	opts.setDefaults()
 	if threads <= 0 {
 		return nil, fmt.Errorf("commprof: threads must be positive, got %d", threads)
 	}
-	stream, err := trace.Decode(r)
+	dec, err := trace.NewDecoder(r)
 	if err != nil {
 		return nil, err
 	}
+	probes := opts.Telemetry.probes()
+	dec.Probes = probes.TraceProbes()
 	var stats exec.Stats
-	for i, a := range stream.Accesses {
+	count := func(a trace.Access) error {
 		if a.Thread < 0 || int(a.Thread) >= threads {
-			return nil, fmt.Errorf("commprof: trace access %d has thread %d, outside [0,%d)", i, a.Thread, threads)
+			return fmt.Errorf("commprof: trace access %d has thread %d, outside [0,%d)", dec.Decoded()-1, a.Thread, threads)
 		}
 		stats.Accesses++
 		if a.Kind == trace.Write {
@@ -81,30 +90,54 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 		} else {
 			stats.Reads++
 		}
+		return nil
 	}
 	// A recorded stream is the sharded pipeline's natural input: replay is a
 	// single producer, so per-shard batching applies at full strength.
 	if opts.AnalysisShards > 0 {
-		pe, err := newPipeline(opts, threads, stream.Table, nil)
+		pe, err := newPipeline(opts, threads, dec.Table(), probes)
 		if err != nil {
 			return nil, err
 		}
-		pe.ProcessStream(stream.Accesses)
+		producer := pe.NewProducer(false)
+		if err := dec.ForEach(func(a trace.Access) error {
+			if err := count(a); err != nil {
+				return err
+			}
+			producer.Process(a)
+			return nil
+		}); err != nil {
+			pe.Close()
+			return nil, err
+		}
+		producer.Flush()
 		pe.Close()
 		rep, _, err := buildReportSharded("replay", threads, pe, stats, opts.MaxHotspots, nil)
 		return rep, err
 	}
 	backend, err := sig.NewAsymmetric(sig.Options{
 		Slots: opts.SignatureSlots, Threads: threads, FPRate: opts.BloomFPRate,
+		Probes: probes.SigProbes(),
 	})
 	if err != nil {
 		return nil, err
 	}
-	d, err := detect.New(detect.Options{Threads: threads, Backend: backend, Table: stream.Table})
+	d, err := detect.New(detect.Options{
+		Threads: threads, Backend: backend, Table: dec.Table(),
+		Probes: probes.DetectProbes(),
+	})
 	if err != nil {
 		return nil, err
 	}
-	d.ProcessStream(stream.Accesses)
+	if err := dec.ForEach(func(a trace.Access) error {
+		if err := count(a); err != nil {
+			return err
+		}
+		d.Process(a)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	rep, _, err := buildReport("replay", threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, nil)
 	return rep, err
 }

@@ -110,11 +110,23 @@ type PipelineReport struct {
 	Shards int
 	// QueueCapacity is each shard's bounded queue size in accesses.
 	QueueCapacity int
+	// BatchSize is the producer staging batch / worker drain limit in
+	// accesses.
+	BatchSize int
 	// Policy is the overload policy the run used ("block" or "degrade").
 	Policy string
 	// DroppedReads counts reads the degrade policy discarded while a shard
 	// queue was saturated; always 0 under the block policy.
 	DroppedReads uint64
+	// ProducerFlushes counts staging-buffer flushes across all producers;
+	// the total enqueued access count over this is the realised enqueue
+	// amortization factor.
+	ProducerFlushes uint64
+	// PeakResidentAccesses is the peak number of access records the analyser
+	// held in flight (shard queue peaks plus producer staging peaks) — the
+	// O(queue depth) bound streaming replay keeps resident instead of the
+	// whole trace.
+	PeakResidentAccesses int
 	// PeakDepths is each shard's maximum observed queue depth — how close
 	// the run came to its capacity bound.
 	PeakDepths []int
@@ -160,8 +172,10 @@ func (r *Report) Summary() string {
 		r.Workload, r.Threads, r.Accesses, r.Dependencies, r.CommBytes)
 	fmt.Fprintf(&b, "profiler memory: %.1f KB\n", float64(r.SignatureBytes)/1024)
 	if p := r.Pipeline; p != nil {
-		fmt.Fprintf(&b, "sharded analysis: %d shards, queue capacity %d, policy %s, dropped reads %d\n",
-			p.Shards, p.QueueCapacity, p.Policy, p.DroppedReads)
+		fmt.Fprintf(&b, "sharded analysis: %d shards, queue capacity %d, batch %d, policy %s, dropped reads %d\n",
+			p.Shards, p.QueueCapacity, p.BatchSize, p.Policy, p.DroppedReads)
+		fmt.Fprintf(&b, "peak resident accesses: %d (%d producer flushes)\n",
+			p.PeakResidentAccesses, p.ProducerFlushes)
 	}
 	b.WriteByte('\n')
 	b.WriteString("region tree:\n")

@@ -1,9 +1,10 @@
 #!/bin/sh
 # tier1.sh — the repository's tier-1 verification gate (see ROADMAP.md).
-# Build, formatting, vet, the full test suite, and a race-detector pass over
+# Build, formatting, vet, the full test suite, a race-detector pass over
 # the packages with lock-free hot paths (signature memory), real concurrency
-# (the parallel engine mode, the sharded analysis pipeline) and blocking
-# queues (the detect queue reproductions).
+# (the parallel engine mode, the sharded analysis pipeline, replay producer
+# staging), blocking queues (the detect queue reproductions) and merge-order
+# algebra (comm), plus a short fuzz smoke over the trace codec.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,7 +26,13 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (sig, exec, pipeline, detect) =="
-go test -race ./internal/sig/... ./internal/exec/... ./internal/pipeline/... ./internal/detect/...
+echo "== go test -race (sig, exec, pipeline, detect, trace, comm) =="
+go test -race ./internal/sig/... ./internal/exec/... ./internal/pipeline/... ./internal/detect/... \
+	./internal/trace/... ./internal/comm/...
+
+echo "== go test -fuzz smoke (trace codec) =="
+for target in FuzzDecode FuzzDecoder FuzzStreamRoundTrip; do
+	go test -run '^$' -fuzz "^${target}\$" -fuzztime 5s ./internal/trace
+done
 
 echo "tier1: OK"

@@ -60,6 +60,7 @@ func newPipeline(opts Options, threads int, table *trace.Table, probes *obs.Prob
 		Table:           table,
 		GranularityBits: opts.GranularityBits,
 		QueueCapacity:   opts.ShardQueueCapacity,
+		BatchSize:       opts.ShardBatchSize,
 		Policy:          policy,
 		NewBackend:      pipeline.AsymmetricFactory(opts.SignatureSlots, shards, threads, opts.BloomFPRate, probes.SigProbes()),
 		Probes:          probes.PipelineProbes(),
@@ -93,7 +94,32 @@ func profileSharded(opts Options, prog splash.Program, tel *Telemetry, probes *o
 	if err != nil {
 		return nil, err
 	}
-	probe := pe.Probe()
+	// Producer-side staging amortises shard-queue locking the way
+	// ProcessStream always did for replay. In parallel engine mode each
+	// thread produces only its own accesses, so a per-thread producer is
+	// contention-free; staging merely widens the enqueue-order race the mode
+	// already accepts. The deterministic scheduler funnels every thread's
+	// accesses through one serialized probe, so a single producer flushed on
+	// thread switches (= quantum boundaries) preserves the exact global
+	// arrival order.
+	var probe exec.Probe
+	var flushProducers func()
+	if opts.Parallel {
+		producers := make([]*pipeline.Producer, opts.Threads)
+		for i := range producers {
+			producers[i] = pe.NewProducer(false)
+		}
+		probe = func(a trace.Access) { producers[a.Thread].Process(a) }
+		flushProducers = func() {
+			for _, p := range producers {
+				p.Flush()
+			}
+		}
+	} else {
+		p := pe.NewProducer(true)
+		probe = p.Process
+		flushProducers = p.Flush
+	}
 	sampleFraction := 1.0
 	if opts.SamplePeriod > 0 {
 		probe, sampleFraction, err = sampledProbe(probe, opts.Threads, opts.SampleBurst, opts.SamplePeriod)
@@ -111,9 +137,11 @@ func profileSharded(opts Options, prog splash.Program, tel *Telemetry, probes *o
 	stats, err := prog.Run(eng)
 	run.End()
 	if err != nil {
+		pe.Close()
 		return nil, err
 	}
 	drain := tel.span("pipeline-drain")
+	flushProducers()
 	pe.Close()
 	drain.End()
 	rep, tree, err := buildReportSharded(opts.Workload, opts.Threads, pe, stats, opts.MaxHotspots, tel)
@@ -150,12 +178,15 @@ func buildReportSharded(name string, threads int, pe *pipeline.Engine, stats exe
 func pipelineReport(pe *pipeline.Engine) *PipelineReport {
 	sstats := pe.ShardStats()
 	rep := &PipelineReport{
-		Shards:         pe.Shards(),
-		QueueCapacity:  pe.QueueCapacity(),
-		Policy:         pe.Policy().String(),
-		DroppedReads:   pe.Stats().DroppedReads,
-		PeakDepths:     make([]int, len(sstats)),
-		ShardProcessed: make([]uint64, len(sstats)),
+		Shards:               pe.Shards(),
+		QueueCapacity:        pe.QueueCapacity(),
+		BatchSize:            pe.BatchSize(),
+		Policy:               pe.Policy().String(),
+		DroppedReads:         pe.Stats().DroppedReads,
+		ProducerFlushes:      pe.ProducerFlushes(),
+		PeakResidentAccesses: pe.PeakResidentAccesses(),
+		PeakDepths:           make([]int, len(sstats)),
+		ShardProcessed:       make([]uint64, len(sstats)),
 	}
 	for i, s := range sstats {
 		rep.PeakDepths[i] = s.PeakDepth
@@ -201,13 +232,17 @@ func ProfileTraceParallel(accesses []Access, regions []Region, threads int, opts
 		}
 		sampleFraction = gate.Fraction()
 	}
+	// Feed a staging producer directly instead of materialising a converted
+	// copy of the stream: the caller's slice is the only O(accesses) state.
 	var stats exec.Stats
-	stream := make([]trace.Access, 0, len(accesses))
+	producer := pe.NewProducer(false)
 	for i, a := range accesses {
 		if a.Thread < 0 || int(a.Thread) >= threads {
+			pe.Close()
 			return nil, fmt.Errorf("commprof: access %d has thread %d out of range", i, a.Thread)
 		}
 		if a.Region != trace.NoRegion && (a.Region < 0 || int(a.Region) >= table.Len()) {
+			pe.Close()
 			return nil, fmt.Errorf("commprof: access %d references unknown region %d", i, a.Region)
 		}
 		k := trace.Read
@@ -221,12 +256,12 @@ func ProfileTraceParallel(accesses []Access, regions []Region, threads int, opts
 		if gate != nil && k == trace.Read && !gate.Admit(a.Thread) {
 			continue
 		}
-		stream = append(stream, trace.Access{
+		producer.Process(trace.Access{
 			Time: a.Time, Addr: a.Addr, Size: a.Size,
 			Thread: a.Thread, Region: a.Region, Kind: k,
 		})
 	}
-	pe.ProcessStream(stream)
+	producer.Flush()
 	pe.Close()
 	rep, _, err := buildReportSharded("trace", threads, pe, stats, opts.MaxHotspots, nil)
 	if err != nil {

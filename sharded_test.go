@@ -160,6 +160,50 @@ func TestReplaySharded(t *testing.T) {
 	}
 }
 
+// TestReplayShardedBoundedResidency is the streaming-replay acceptance test:
+// replaying a simlarge trace (millions of accesses) through the sharded
+// pipeline keeps the in-flight access residency bounded by the configured
+// queues and staging buffers — O(shards × (queue + batch)), independent of
+// trace length — and reports that peak in the pipeline section.
+func TestReplayShardedBoundedResidency(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Record(Options{Workload: "radix", Threads: 8, InputSize: "simlarge"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	const shards, queueCap, batch = 4, 512, 64
+	rep, err := Replay(bytes.NewReader(buf.Bytes()), 8, Options{
+		AnalysisShards:     shards,
+		ShardQueueCapacity: queueCap,
+		ShardBatchSize:     batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pipeline == nil {
+		t.Fatal("sharded replay produced no pipeline report")
+	}
+	if rep.Pipeline.BatchSize != batch {
+		t.Fatalf("pipeline batch size %d, want %d", rep.Pipeline.BatchSize, batch)
+	}
+	if rep.Pipeline.ProducerFlushes == 0 {
+		t.Fatal("no producer flushes recorded on a multi-million-access replay")
+	}
+	peak := rep.Pipeline.PeakResidentAccesses
+	bound := shards * (queueCap + batch)
+	if peak <= 0 || peak > bound {
+		t.Fatalf("peak resident accesses %d outside (0, %d]", peak, bound)
+	}
+	// The bound is configuration, not trace length: for this trace it is
+	// under 1% of the accesses a materialised replay would hold.
+	if rep.Accesses < 1_000_000 {
+		t.Fatalf("simlarge trace only has %d accesses; the residency ratio below is meaningless", rep.Accesses)
+	}
+	if ratio := float64(peak) / float64(rep.Accesses); ratio >= 0.01 {
+		t.Fatalf("peak resident accesses %d is %.2f%% of the %d-access trace; streaming replay must not scale with trace length",
+			peak, 100*ratio, rep.Accesses)
+	}
+}
+
 func TestTelemetryShardedRun(t *testing.T) {
 	tel := NewTelemetry()
 	rep, err := Profile(Options{Workload: "radix", Threads: 8, AnalysisShards: 3, Telemetry: tel})
