@@ -50,7 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shards   = fs.Int("shards", 0, "analysis shards for the parallel pipeline (0 = serial in-thread analysis)")
 		shardQ   = fs.Int("shard-queue", 0, "per-shard bounded queue capacity in accesses (0 = default 8192)")
 		shardB   = fs.Int("shard-batch", 0, "producer staging batch / worker drain limit in accesses (0 = default 256)")
-		shardPol = fs.String("shard-policy", "block", "shard overload policy: block (backpressure) or degrade (thin reads while saturated)")
+		shardPol = fs.String("shard-policy", "block", "shard overload policy: block (backpressure), degrade (thin reads while saturated) or auto (degrade only under sustained overload)")
+		redunB   = fs.Uint("redundancy-bits", 0, "redundancy fast-path cache size in bits: 2^N entries per analyser filtering same-thread repeated accesses before the signature (0 = off)")
 		record   = fs.String("record", "", "also write the access trace to this file")
 		replay   = fs.String("replay", "", "analyse a recorded trace file instead of running a benchmark")
 		telem    = fs.Bool("telemetry", false, "collect profiler self-observability metrics and print a Prometheus-text dump after the run")
@@ -78,6 +79,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Parallel:        *parallel,
 		GranularityBits: *gran,
 		AnalysisShards:  *shards,
+
+		RedundancyCacheBits: *redunB,
 	}
 	if *shards > 0 {
 		opts.ShardQueueCapacity = *shardQ

@@ -99,6 +99,21 @@ type Options struct {
 	// reduce detection latency and staging residency. Ignored when
 	// AnalysisShards is 0.
 	ShardBatchSize int
+	// RedundancyCacheBits, when non-zero, enables the redundancy-filtering
+	// fast path: a 2^bits-entry direct-mapped cache of the last (thread,
+	// kind) to touch each analysis granule, which skips the signature
+	// backend for accesses Algorithm 1 provably classifies as
+	// non-communicating — a thread re-reading or re-writing what it just
+	// touched (see internal/redundancy). Detected dependencies and matrices
+	// are unchanged on a collision-free backend and statistically unchanged
+	// on the asymmetric signature; Report.Redundancy carries the hit-rate
+	// telemetry. 10–14 bits (a cache that fits in L1/L2) is the sweet spot.
+	// The serial analyser uses the cache only under the deterministic
+	// scheduler — with Parallel the target threads call the detector
+	// concurrently and the single-consumer cache would race, so it is
+	// silently disabled; the sharded analyser (AnalysisShards > 0) gives
+	// every shard worker a private cache and filters in any mode.
+	RedundancyCacheBits uint
 	// Telemetry, when non-nil, threads self-observability probes through
 	// the signature, detector and executor layers, records run-phase spans,
 	// and attaches an end-of-run snapshot as Report.Telemetry. See
@@ -168,6 +183,11 @@ func Profile(opts Options) (*Report, error) {
 		GranularityBits: opts.GranularityBits,
 		Probes:          probes.DetectProbes(),
 	}
+	if !opts.Parallel {
+		// Parallel mode would drive the single-consumer cache from many
+		// goroutines at once; see the Options.RedundancyCacheBits contract.
+		dopts.RedundancyCacheBits = opts.RedundancyCacheBits
+	}
 	if opts.PhaseWindow > 0 && !opts.Parallel {
 		seg, err = metrics.NewPhaseSegmenter(opts.Threads, opts.PhaseWindow, 0.7)
 		if err != nil {
@@ -229,7 +249,14 @@ func buildReport(name string, threads int, d *detect.Detector, stats exec.Stats,
 	}
 	build.End()
 	dstats := d.Stats()
-	return reportFromTree(name, threads, tree, dstats.Detected, dstats.CommBytes, stats, sigBytes, maxHotspots, tel)
+	rep, tree, err := reportFromTree(name, threads, tree, dstats.Detected, dstats.CommBytes, stats, sigBytes, maxHotspots, tel)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st, ok := d.RedundancyStats(); ok {
+		rep.Redundancy = redundancyReport(st)
+	}
+	return rep, tree, nil
 }
 
 // reportFromTree renders a finished communication tree into the public report

@@ -64,7 +64,11 @@ func ProfileTrace(accesses []Access, regions []Region, threads int, opts Options
 	if err != nil {
 		return nil, err
 	}
-	d, err := detect.New(detect.Options{Threads: threads, Backend: backend, Table: table})
+	// The replay loop below is the cache's single consumer.
+	d, err := detect.New(detect.Options{
+		Threads: threads, Backend: backend, Table: table,
+		RedundancyCacheBits: opts.RedundancyCacheBits,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -159,10 +163,16 @@ func Run(threads int, regions []Region, body func(*Thread), opts Options) (*Repo
 	if err != nil {
 		return nil, err
 	}
-	d, err := detect.New(detect.Options{
+	dopts := detect.Options{
 		Threads: threads, Backend: backend, Table: table,
 		Probes: probes.DetectProbes(),
-	})
+	}
+	if !opts.Parallel {
+		// Same contract as Profile: the single-consumer cache needs the
+		// deterministic scheduler's serialized probe.
+		dopts.RedundancyCacheBits = opts.RedundancyCacheBits
+	}
+	d, err := detect.New(dopts)
 	if err != nil {
 		return nil, err
 	}

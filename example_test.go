@@ -22,8 +22,8 @@ func ExampleProfile() {
 	fmt.Printf("communicated bytes: %d\n", rep.CommBytes)
 	fmt.Printf("top hotspot: %s\n", rep.Hotspots[0].Region)
 	// Output:
-	// dependencies: 2374
-	// communicated bytes: 37456
+	// dependencies: 2370
+	// communicated bytes: 37392
 	// top hotspot: Transpose#blocks
 }
 

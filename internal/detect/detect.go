@@ -26,6 +26,7 @@ import (
 	"commprof/internal/comm"
 	"commprof/internal/exec"
 	"commprof/internal/obs"
+	"commprof/internal/redundancy"
 	"commprof/internal/sig"
 	"commprof/internal/trace"
 )
@@ -60,6 +61,17 @@ type Options struct {
 	// shrinks the effective working set (fewer collisions at equal slots)
 	// but merges neighbouring variables, which manufactures false sharing.
 	GranularityBits uint
+	// RedundancyCacheBits, when non-zero, enables the redundancy-filtering
+	// fast path in front of the signature backend: a 2^bits-entry
+	// direct-mapped cache of the last (thread, kind) to touch each
+	// granularity-coarsened address, filtering out accesses Algorithm 1 is
+	// guaranteed to classify as non-communicating (see internal/redundancy
+	// for the three skip rules and their soundness argument). The cache is
+	// NOT goroutine-safe, so set this only when exactly one goroutine calls
+	// Process — the serial replay loop, or one sharded-pipeline worker.
+	// Filtered accesses still count toward Stats.Processed and the
+	// per-region access counters; only the backend consultation is skipped.
+	RedundancyCacheBits uint
 	// Probes, when non-nil, receives self-observability telemetry (event
 	// counts and sizes, stale-writer drops). Nil keeps the hot path
 	// uninstrumented at the cost of one nil check per hook site.
@@ -78,6 +90,7 @@ type Detector struct {
 	processed atomic.Uint64
 	detected  atomic.Uint64
 	commBytes atomic.Uint64
+	redun     *redundancy.Cache
 }
 
 // New builds a detector. It returns an error on missing backend or invalid
@@ -104,6 +117,13 @@ func New(opts Options) (*Detector, error) {
 		}
 		d.regionAcc = make([]atomic.Uint64, opts.Table.Len())
 	}
+	if opts.RedundancyCacheBits > 0 {
+		c, err := redundancy.New(opts.RedundancyCacheBits, opts.Threads)
+		if err != nil {
+			return nil, fmt.Errorf("detect: %w", err)
+		}
+		d.redun = c
+	}
 	return d, nil
 }
 
@@ -115,6 +135,15 @@ func (d *Detector) Process(a trace.Access) (Event, bool) {
 		d.regionAcc[a.Region].Add(1)
 	}
 	gaddr := a.Addr >> d.opts.GranularityBits
+	if c := d.redun; c != nil && c.Redundant(gaddr, a.Thread, a.Kind == trace.Write) {
+		// Fast path: the access cannot change what Algorithm 1 reports
+		// (repeated same-thread read, repeated same-thread write, or a
+		// thread re-reading its own last write), so skip the backend.
+		if p := d.opts.Probes; p != nil {
+			p.RedundantSkips.Inc()
+		}
+		return Event{}, false
+	}
 	if a.Kind == trace.Write {
 		d.opts.Backend.ObserveWrite(gaddr, a.Thread)
 		return Event{}, false
@@ -239,4 +268,13 @@ func (d *Detector) Stats() Stats {
 		Detected:  d.detected.Load(),
 		CommBytes: d.commBytes.Load(),
 	}
+}
+
+// RedundancyStats snapshots the fast-path cache counters. The second return
+// is false when the cache is disabled (RedundancyCacheBits == 0).
+func (d *Detector) RedundancyStats() (redundancy.Stats, bool) {
+	if d.redun == nil {
+		return redundancy.Stats{}, false
+	}
+	return d.redun.Stats(), true
 }

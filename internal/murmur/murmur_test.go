@@ -102,6 +102,23 @@ func TestHashAddrMatchesSum128(t *testing.T) {
 	}
 }
 
+func TestHashAddrPairMatchesSum128(t *testing.T) {
+	// The fused signature addressing depends on HashAddrPair being exactly
+	// the two halves of Sum128 over the 8 little-endian address bytes: the
+	// first half is the historical read-slot hash (= HashAddr), the second
+	// is an independent digest half free for the write slot.
+	f := func(addr, seed uint64) bool {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], addr)
+		h1, h2 := Sum128(b[:], seed)
+		p1, p2 := HashAddrPair(addr, seed)
+		return p1 == h1 && p2 == h2 && p1 == HashAddr(addr, seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestHashAddrPairIndependent(t *testing.T) {
 	// The two probe hashes must differ for essentially all inputs, otherwise
 	// double hashing would degenerate to a single probe.

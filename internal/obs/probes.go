@@ -28,6 +28,9 @@ type DetectProbes struct {
 	StaleWriterDrops *Counter
 	// EventBytes is the size distribution of detected communication events.
 	EventBytes *Histogram
+	// RedundantSkips counts accesses the redundancy fast path filtered out
+	// before they reached the signature backend (0 when the cache is off).
+	RedundantSkips *Counter
 }
 
 // PipelineProbes instruments the sharded parallel analysis engine
@@ -52,6 +55,10 @@ type PipelineProbes struct {
 	// quantum-switch and end-of-stream flushes alike); Enqueued over
 	// ProducerFlushes is the realised enqueue amortization factor.
 	ProducerFlushes *Counter
+	// PolicyTransitions counts adaptive overload-policy mode switches
+	// (block→degrade on a stall-rate spike, degrade→block once drained);
+	// always 0 outside PolicyAuto.
+	PolicyTransitions *Counter
 }
 
 // TraceProbes instruments the incremental trace codec (internal/trace).
@@ -97,6 +104,7 @@ func DefaultProbes(r *Registry) *Probes {
 			Events:           r.Counter("detect_events_total"),
 			StaleWriterDrops: r.Counter("detect_stale_writer_drops_total"),
 			EventBytes:       r.Histogram("detect_event_bytes"),
+			RedundantSkips:   r.Counter("detect_redundant_skips_total"),
 		},
 		Engine: &EngineProbes{
 			QuantumSwitches: r.Counter("exec_quantum_switches_total"),
@@ -104,12 +112,13 @@ func DefaultProbes(r *Registry) *Probes {
 			LockWaits:       r.Counter("exec_lock_waits_total"),
 		},
 		Pipeline: &PipelineProbes{
-			Enqueued:        r.Counter("pipeline_enqueued_total"),
-			DroppedReads:    r.Counter("pipeline_dropped_reads_total"),
-			EnqueueStalls:   r.Counter("pipeline_enqueue_stalls_total"),
-			BatchSizes:      r.Histogram("pipeline_batch_size"),
-			QueueDepth:      r.Histogram("pipeline_queue_depth"),
-			ProducerFlushes: r.Counter("pipeline_producer_flushes_total"),
+			Enqueued:          r.Counter("pipeline_enqueued_total"),
+			DroppedReads:      r.Counter("pipeline_dropped_reads_total"),
+			EnqueueStalls:     r.Counter("pipeline_enqueue_stalls_total"),
+			BatchSizes:        r.Histogram("pipeline_batch_size"),
+			QueueDepth:        r.Histogram("pipeline_queue_depth"),
+			ProducerFlushes:   r.Counter("pipeline_producer_flushes_total"),
+			PolicyTransitions: r.Counter("pipeline_policy_transitions_total"),
 		},
 		Trace: &TraceProbes{
 			DecodedRecords: r.Counter("trace_decoded_records_total"),

@@ -1,0 +1,222 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"commprof/internal/sig"
+	"commprof/internal/trace"
+)
+
+// gatedBackend parks every signature operation until release is closed. It
+// lets a test wedge the shard worker so the queue genuinely sticks at
+// capacity — the only scheduler-independent way to force enqueue stalls
+// (spin-based slowdowns are unreliable at GOMAXPROCS=1, where the worker can
+// drain between every producer step).
+type gatedBackend struct {
+	sig.Backend
+	release <-chan struct{}
+}
+
+func (g *gatedBackend) ObserveRead(addr uint64, tid int32) (int32, bool) {
+	<-g.release
+	return g.Backend.ObserveRead(addr, tid)
+}
+
+func (g *gatedBackend) ObserveWrite(addr uint64, tid int32) {
+	<-g.release
+	g.Backend.ObserveWrite(addr, tid)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPolicyAutoTripsAndRestores wedges a single-shard engine's worker and
+// checks the whole PolicyAuto life cycle: exhaustive at first, a counted trip
+// into degrade mode on the enqueue stall, dropped reads while degraded, and a
+// counted restore to exhaustive once the queue drains.
+func TestPolicyAutoTripsAndRestores(t *testing.T) {
+	release := make(chan struct{})
+	e, err := New(Options{
+		// BatchSize matches QueueCapacity so the staging producer below can
+		// hold its admitted reads without an auto-flush (which would block on
+		// the wedged queue).
+		Shards: 1, Threads: 2, QueueCapacity: 4, BatchSize: 4,
+		Policy:          PolicyAuto,
+		AutoStallPerSec: 5, // one stall inside the window trips
+		NewBackend: func(int) (sig.Backend, error) {
+			return &gatedBackend{Backend: sig.NewPerfect(2), release: release}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Policy().String() != "auto" {
+		t.Fatalf("Policy().String() = %q, want auto", e.Policy().String())
+	}
+	if e.Degraded() {
+		t.Fatal("engine degraded before any overload")
+	}
+
+	read := func(i int, tid int32) trace.Access {
+		return trace.Access{Addr: uint64(8 * i), Thread: tid, Kind: trace.Read, Size: 8}
+	}
+	// With the worker wedged, this producer fills the queue and then stalls
+	// inside enqueue; the stall trips the policy even while it stays blocked.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 64; i++ {
+			e.Process(read(i, 0))
+		}
+	}()
+	waitFor(t, "policy to trip into degrade mode", e.Degraded)
+
+	// While degraded with a stuck-full queue, a second producer's reads are
+	// thinned by the gate. It stages through a Producer handle so the few
+	// admitted reads sit in its private buffer instead of blocking on the
+	// wedged queue; the rejected majority is dropped and counted.
+	p2 := e.NewProducer(false)
+	for i := 0; i < 16; i++ {
+		p2.Process(read(i, 1))
+	}
+	if drops := e.Stats().DroppedReads; drops == 0 {
+		t.Fatal("degraded engine dropped no reads")
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-release
+		p2.Flush()
+	}()
+
+	// Unwedge the worker: the queue drains, producers finish, and the policy
+	// restores exhaustive analysis.
+	close(release)
+	wg.Wait()
+	e.Close()
+	if e.Degraded() {
+		t.Error("engine still degraded after drain")
+	}
+	if n := e.PolicyTransitions(); n < 2 {
+		t.Errorf("PolicyTransitions() = %d, want >= 2 (trip + restore)", n)
+	}
+	st := e.Stats()
+	if st.Processed == 0 {
+		t.Error("no accesses processed")
+	}
+	if st.DroppedReads == 0 {
+		t.Error("DroppedReads reset unexpectedly")
+	}
+}
+
+// TestPolicyAutoIdleIsFree checks the other half of the PolicyAuto contract:
+// a run that never overloads never degrades, never drops, and reports zero
+// transitions — exhaustive analysis at no cost.
+func TestPolicyAutoIdleIsFree(t *testing.T) {
+	e, err := New(Options{
+		Shards: 2, Threads: 2, QueueCapacity: 1024,
+		Policy:     PolicyAuto,
+		NewBackend: PerfectFactory(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		e.Process(trace.Access{Addr: uint64(8 * i), Thread: int32(i % 2), Kind: trace.Read, Size: 8})
+	}
+	e.Close()
+	if e.Degraded() {
+		t.Error("unloaded engine degraded")
+	}
+	if n := e.PolicyTransitions(); n != 0 {
+		t.Errorf("PolicyTransitions() = %d, want 0", n)
+	}
+	if d := e.Stats().DroppedReads; d != 0 {
+		t.Errorf("DroppedReads = %d, want 0", d)
+	}
+}
+
+// TestConcurrentProducersWithRedundancyCache exercises the per-shard
+// redundancy caches under concurrent producers plus live telemetry polling —
+// the shape the race detector needs to see. Correctness of the cache's
+// single-consumer contract rests on address routing: all accesses to one
+// granule funnel through one shard worker regardless of which producer
+// enqueued them.
+func TestConcurrentProducersWithRedundancyCache(t *testing.T) {
+	const producers, perProducer = 8, 4096
+	e, err := New(Options{
+		Shards: 4, Threads: producers, QueueCapacity: 256,
+		RedundancyCacheBits: 8,
+		NewBackend:          PerfectFactory(producers),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				kind := trace.Read
+				if i%7 == 0 {
+					kind = trace.Write
+				}
+				// Half the address space is shared across producers (cache
+				// invalidation traffic), half is private (cache hit traffic).
+				addr := uint64(8 * (i % 64))
+				if i%2 == 0 {
+					addr = 0x10000 + uint64(tid)<<12 + uint64(8*(i%64))
+				}
+				e.Process(trace.Access{Addr: addr, Thread: tid, Kind: kind, Size: 8})
+			}
+		}(int32(p))
+	}
+	stop := make(chan struct{})
+	var poll sync.WaitGroup
+	poll.Add(1)
+	go func() {
+		defer poll.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.RedundancyStats()
+				e.Stats()
+				e.Degraded()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	poll.Wait()
+	e.Close()
+
+	st := e.Stats()
+	if want := uint64(producers * perProducer); st.Processed != want {
+		t.Errorf("Processed = %d, want %d", st.Processed, want)
+	}
+	rst, ok := e.RedundancyStats()
+	if !ok {
+		t.Fatal("RedundancyStats reports filter off")
+	}
+	if rst.Lookups() != st.Processed {
+		t.Errorf("cache lookups %d != processed %d", rst.Lookups(), st.Processed)
+	}
+	if rst.Hits == 0 {
+		t.Error("cache recorded no hits on a hit-heavy stream")
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"math/rand"
 	"testing"
 
 	"commprof/internal/comm"
@@ -35,11 +36,16 @@ func recordStream(t *testing.T, name string, threads int) ([]trace.Access, *trac
 // bit-identical global matrices and a summation-law-valid tree identical to
 // the serial detector. This is the regime where sharding provably preserves
 // Algorithm 1 semantics: the detection rule is per-address and address
-// routing keeps each address's ordered history on one shard.
+// routing keeps each address's ordered history on one shard. The pipeline
+// additionally runs with a randomized per-shard redundancy cache, so the
+// test also pins the fast path's exactness through the sharded engine
+// (unfiltered serial vs filtered sharded).
 func TestEquivalenceAllWorkloads(t *testing.T) {
 	const threads, shards = 16, 8
+	rng := rand.New(rand.NewSource(0xcace))
 	for _, name := range splash.Names() {
 		name := name
+		cacheBits := uint(rng.Intn(13)) // 0 = filter off for this workload
 		t.Run(name, func(t *testing.T) {
 			stream, table := recordStream(t, name, threads)
 
@@ -57,7 +63,8 @@ func TestEquivalenceAllWorkloads(t *testing.T) {
 
 			e, err := New(Options{
 				Shards: shards, Threads: threads, Table: table,
-				NewBackend: PerfectFactory(threads),
+				RedundancyCacheBits: cacheBits,
+				NewBackend:          PerfectFactory(threads),
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -27,7 +27,8 @@
 // applies backpressure, PolicyDegrade thins reads through the same
 // burst/period gate as detect.Sampler while a queue is saturated (writes are
 // never dropped — losing a write corrupts last-writer attribution rather
-// than merely losing volume).
+// than merely losing volume), and PolicyAuto starts exhaustive and switches
+// to degrade mode only while the stall rate shows sustained overload.
 package pipeline
 
 import (
@@ -35,12 +36,14 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"commprof/internal/comm"
 	"commprof/internal/detect"
 	"commprof/internal/exec"
 	"commprof/internal/murmur"
 	"commprof/internal/obs"
+	"commprof/internal/redundancy"
 	"commprof/internal/sig"
 	"commprof/internal/trace"
 )
@@ -58,15 +61,30 @@ const (
 	// admitted burst fraction is enqueued; the rest are dropped and counted.
 	// Writes always enqueue (blocking if necessary).
 	PolicyDegrade
+	// PolicyAuto adapts between the two: it behaves like PolicyBlock until
+	// producer stall episodes exceed AutoStallPerSec within a sampling
+	// window, then degrades like PolicyDegrade until every shard queue has
+	// drained, at which point it restores exhaustive analysis. Each mode
+	// switch is counted (Report/obs expose it), so a run that never
+	// overloads pays nothing and loses nothing.
+	PolicyAuto
 )
 
 // String names the policy for reports.
 func (p OverloadPolicy) String() string {
-	if p == PolicyDegrade {
+	switch p {
+	case PolicyDegrade:
 		return "degrade"
+	case PolicyAuto:
+		return "auto"
 	}
 	return "block"
 }
+
+// autoWindow is PolicyAuto's stall-rate sampling window: long enough to
+// ignore an isolated burst, short enough to react within a fraction of a
+// second of sustained overload.
+const autoWindow = 200 * time.Millisecond
 
 // shardSeed routes addresses to shards with a hash independent of both
 // signature slot hashes, so shard skew does not correlate with slot
@@ -93,9 +111,21 @@ type Options struct {
 	BatchSize int
 	// Policy selects the overload behaviour (default PolicyBlock).
 	Policy OverloadPolicy
-	// DegradeBurst/DegradePeriod configure PolicyDegrade's read gate
-	// (default 1 of every 8 reads admitted while saturated).
+	// DegradeBurst/DegradePeriod configure the read gate PolicyDegrade uses
+	// always and PolicyAuto uses while degraded (default 1 of every 8 reads
+	// admitted while saturated).
 	DegradeBurst, DegradePeriod uint32
+	// AutoStallPerSec is PolicyAuto's trip threshold: sustained enqueue
+	// stalls per second that flip the engine into degrade mode (default 50).
+	// Ignored by the other policies.
+	AutoStallPerSec float64
+	// RedundancyCacheBits, when non-zero, gives every shard worker a private
+	// 2^bits-entry redundancy-filtering cache in front of its signature
+	// partition (see internal/redundancy). Per-shard privacy makes the
+	// not-goroutine-safe cache sound here: address routing sends a granule's
+	// whole history through one worker, which therefore observes every
+	// cross-thread write that must invalidate a cached entry.
+	RedundancyCacheBits uint
 	// NewBackend builds shard s's private signature partition; required.
 	// Use AsymmetricFactory to split one slot budget across shards, or
 	// PerfectFactory for exact ground-truth analysis.
@@ -106,6 +136,10 @@ type Options struct {
 	// Probes, when non-nil, receives self-observability telemetry. Nil keeps
 	// the hot path uninstrumented.
 	Probes *obs.PipelineProbes
+	// DetectProbes, when non-nil, is handed to every shard's private detector
+	// (event counts, stale-writer drops, redundancy skips). All obs counters
+	// are atomic, so one bundle is safely shared across shard workers.
+	DetectProbes *obs.DetectProbes
 }
 
 func (o *Options) setDefaults() error {
@@ -139,11 +173,17 @@ func (o *Options) setDefaults() error {
 	if o.DegradeBurst == 0 && o.DegradePeriod == 0 {
 		o.DegradeBurst, o.DegradePeriod = 1, 8
 	}
-	if o.Policy == PolicyDegrade {
+	if o.Policy == PolicyDegrade || o.Policy == PolicyAuto {
 		if o.DegradeBurst == 0 || o.DegradePeriod == 0 || o.DegradeBurst > o.DegradePeriod {
 			return fmt.Errorf("pipeline: invalid degrade rate %d/%d (need 1 <= burst <= period)",
 				o.DegradeBurst, o.DegradePeriod)
 		}
+	}
+	if o.AutoStallPerSec == 0 {
+		o.AutoStallPerSec = 50
+	}
+	if o.AutoStallPerSec < 0 {
+		return fmt.Errorf("pipeline: AutoStallPerSec must be positive, got %v", o.AutoStallPerSec)
 	}
 	return nil
 }
@@ -173,6 +213,7 @@ func PerfectFactory(threads int) func(int) (sig.Backend, error) {
 type shard struct {
 	d       *detect.Detector
 	backend sig.Backend
+	eng     *Engine // owning engine, for PolicyAuto's stall/restore hooks
 
 	mu       sync.Mutex
 	notEmpty sync.Cond
@@ -201,6 +242,9 @@ func (s *shard) enqueue(items []trace.Access, p *obs.PipelineProbes) {
 			if p != nil {
 				p.EnqueueStalls.Inc()
 			}
+			// Already off the fast path (the producer is about to sleep), so
+			// the auto-policy bookkeeping mutex costs nothing that matters.
+			s.eng.noteStall()
 			for s.n == len(s.ring) && !s.closed {
 				s.notFull.Wait()
 			}
@@ -265,6 +309,7 @@ func (s *shard) worker(batch int, p *obs.PipelineProbes, wg *sync.WaitGroup) {
 		if p != nil {
 			p.BatchSizes.Observe(uint64(k))
 		}
+		s.eng.maybeRestore()
 	}
 }
 
@@ -278,6 +323,15 @@ type Engine struct {
 
 	gate    *detect.Gate
 	dropped atomic.Uint64
+
+	// PolicyAuto state: degraded mirrors the current mode, transitions counts
+	// mode switches in both directions, and the mutex guards the stall-rate
+	// sampling window (touched only on the already-slow stall path).
+	degraded    atomic.Bool
+	transitions atomic.Uint64
+	autoMu      sync.Mutex
+	winStart    time.Time
+	winStalls   int
 
 	prodMu    sync.Mutex
 	producers []*Producer
@@ -303,7 +357,7 @@ func New(opts Options) (*Engine, error) {
 		}
 	}
 	e := &Engine{opts: opts, shards: make([]*shard, opts.Shards)}
-	if opts.Policy == PolicyDegrade {
+	if opts.Policy == PolicyDegrade || opts.Policy == PolicyAuto {
 		gate, err := detect.NewGate(opts.Threads, opts.DegradeBurst, opts.DegradePeriod)
 		if err != nil {
 			return nil, err
@@ -318,11 +372,13 @@ func New(opts Options) (*Engine, error) {
 		d, err := detect.New(detect.Options{
 			Threads: opts.Threads, Backend: backend, Table: opts.Table,
 			GranularityBits: opts.GranularityBits, OnEvent: opts.OnEvent,
+			RedundancyCacheBits: opts.RedundancyCacheBits,
+			Probes:              opts.DetectProbes,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: shard %d: %w", i, err)
 		}
-		s := &shard{d: d, backend: backend, ring: make([]trace.Access, opts.QueueCapacity)}
+		s := &shard{d: d, backend: backend, eng: e, ring: make([]trace.Access, opts.QueueCapacity)}
 		s.notEmpty.L = &s.mu
 		s.notFull.L = &s.mu
 		e.shards[i] = s
@@ -347,12 +403,80 @@ func (e *Engine) route(addr uint64) int {
 	return int(murmur.HashAddr(addr>>e.opts.GranularityBits, shardSeed) % uint64(len(e.shards)))
 }
 
+// thinReads reports whether the degrade gate applies right now: always under
+// PolicyDegrade, only while tripped into degraded mode under PolicyAuto.
+func (e *Engine) thinReads() bool {
+	if e.gate == nil {
+		return false
+	}
+	return e.opts.Policy != PolicyAuto || e.degraded.Load()
+}
+
+// noteStall feeds PolicyAuto's stall-rate sampler. Producers call it when
+// they are about to block on a full shard queue; once stalls within the
+// sampling window exceed AutoStallPerSec, the engine trips into degrade mode.
+func (e *Engine) noteStall() {
+	if e.opts.Policy != PolicyAuto || e.degraded.Load() {
+		return
+	}
+	e.autoMu.Lock()
+	defer e.autoMu.Unlock()
+	if e.degraded.Load() {
+		return
+	}
+	now := time.Now()
+	if e.winStart.IsZero() || now.Sub(e.winStart) > autoWindow {
+		e.winStart, e.winStalls = now, 0
+	}
+	e.winStalls++
+	trip := int(e.opts.AutoStallPerSec * autoWindow.Seconds())
+	if trip < 1 {
+		trip = 1
+	}
+	if e.winStalls >= trip {
+		e.degraded.Store(true)
+		e.transitions.Add(1)
+		if p := e.opts.Probes; p != nil {
+			p.PolicyTransitions.Inc()
+		}
+		e.winStart, e.winStalls = time.Time{}, 0
+	}
+}
+
+// maybeRestore flips a degraded PolicyAuto engine back to exhaustive analysis
+// once every shard queue has drained. Workers call it after each batch; the
+// check is one atomic load when not degraded.
+func (e *Engine) maybeRestore() {
+	if e.opts.Policy != PolicyAuto || !e.degraded.Load() {
+		return
+	}
+	for _, s := range e.shards {
+		if s.depth.Load() > 0 {
+			return
+		}
+	}
+	if e.degraded.CompareAndSwap(true, false) {
+		e.transitions.Add(1)
+		if p := e.opts.Probes; p != nil {
+			p.PolicyTransitions.Inc()
+		}
+	}
+}
+
+// Degraded reports whether a PolicyAuto engine is currently in degrade mode
+// (always false for the static policies); safe while the run is in flight.
+func (e *Engine) Degraded() bool { return e.degraded.Load() }
+
+// PolicyTransitions counts PolicyAuto mode switches in both directions; safe
+// while the run is in flight.
+func (e *Engine) PolicyTransitions() uint64 { return e.transitions.Load() }
+
 // Process enqueues one access. Safe for concurrent producers; accesses from
 // different producers interleave in arrival order, exactly like the serial
 // detector in parallel engine mode.
 func (e *Engine) Process(a trace.Access) {
 	s := e.shards[e.route(a.Addr)]
-	if e.gate != nil && a.Kind == trace.Read && s.depth.Load() >= int64(s.capacity()) {
+	if a.Kind == trace.Read && s.depth.Load() >= int64(s.capacity()) && e.thinReads() {
 		if !e.gate.Admit(a.Thread) {
 			e.dropped.Add(1)
 			if p := e.opts.Probes; p != nil {
@@ -437,7 +561,7 @@ func (p *Producer) Process(a trace.Access) {
 	e := p.e
 	i := e.route(a.Addr)
 	s := e.shards[i]
-	if e.gate != nil && a.Kind == trace.Read && s.depth.Load() >= int64(s.capacity()) {
+	if a.Kind == trace.Read && s.depth.Load() >= int64(s.capacity()) && e.thinReads() {
 		if !e.gate.Admit(a.Thread) {
 			e.dropped.Add(1)
 			if pr := e.opts.Probes; pr != nil {
@@ -653,6 +777,21 @@ func (e *Engine) QueueCapacity() int { return e.opts.QueueCapacity }
 
 // Policy reports the configured overload policy.
 func (e *Engine) Policy() OverloadPolicy { return e.opts.Policy }
+
+// RedundancyStats merges every shard cache's fast-path counters. The second
+// return is false when RedundancyCacheBits was 0. Safe while the run is in
+// flight (the snapshot is racy across shards, exact after Close).
+func (e *Engine) RedundancyStats() (redundancy.Stats, bool) {
+	var agg redundancy.Stats
+	on := false
+	for _, s := range e.shards {
+		if st, ok := s.d.RedundancyStats(); ok {
+			agg = agg.Add(st)
+			on = true
+		}
+	}
+	return agg, on
+}
 
 // SigFootprintBytes sums the live memory of every shard's signature
 // partition.

@@ -146,22 +146,31 @@ func (s *Asymmetric) Name() string { return "asymmetric-signature" }
 // Options returns the configuration the signature was built with.
 func (s *Asymmetric) Options() Options { return s.opts }
 
-func (s *Asymmetric) readSlot(addr uint64) uint64 {
-	return s.hash(addr, s.opts.SeedRead) % s.opts.Slots
-}
-
-func (s *Asymmetric) writeSlot(addr uint64) uint64 {
-	return s.hash(addr, s.opts.SeedWrite) % s.opts.Slots
-}
-
-func (s *Asymmetric) hash(addr, seed uint64) uint64 {
+// slots maps addr to its (read, write) slot pair. Every backend operation
+// needs both slots (ObserveRead looks up the writer and records the reader;
+// ObserveWrite invalidates the readers and records the writer), so the murmur
+// path derives them from ONE 128-bit hash pass: the two halves of MurmurHash3
+// x64/128 are designed to be independent, the first half reproduces the
+// historical HashAddr(addr, SeedRead) read mapping exactly, and the second
+// half — folded with SeedWrite through the fmix64 finalizer, so both seed
+// options stay meaningful and the write mapping keeps independent-hash
+// collision statistics — addresses the write array. This halves the
+// per-access hash cost relative to the old two-pass scheme (a finalizer is
+// three shifts and two multiplies, not a hash pass).
+func (s *Asymmetric) slots(addr uint64) (rs, ws uint64) {
 	if s.opts.Hash == HashFold {
 		// Weak fold: mixes poorly, so regular access strides map to
 		// clustered slots. Exists only to quantify what MurmurHash buys.
-		v := addr ^ seed
-		return v ^ (v >> 17) ^ (v << 9)
+		return foldHash(addr, s.opts.SeedRead) % s.opts.Slots,
+			foldHash(addr, s.opts.SeedWrite) % s.opts.Slots
 	}
-	return murmur.HashAddr(addr, seed)
+	h1, h2 := murmur.HashAddrPair(addr, s.opts.SeedRead)
+	return h1 % s.opts.Slots, murmur.Mix64(h2^s.opts.SeedWrite) % s.opts.Slots
+}
+
+func foldHash(addr, seed uint64) uint64 {
+	v := addr ^ seed
+	return v ^ (v >> 17) ^ (v << 9)
 }
 
 // filterAt returns the bloom filter for a read slot, allocating it on first
@@ -184,28 +193,30 @@ func (s *Asymmetric) filterAt(slot uint64) *bloom.Filter {
 	return s.read[slot].Load()
 }
 
-// ObserveRead implements Backend.
+// ObserveRead implements Backend. One fused hash pass yields both slots.
 func (s *Asymmetric) ObserveRead(addr uint64, tid int32) (int32, bool) {
+	rs, ws := s.slots(addr)
 	writer := NoWriter
-	if v := s.write[s.writeSlot(addr)].Load(); v != 0 {
+	if v := s.write[ws].Load(); v != 0 {
 		writer = v - 1
 	}
-	already := s.filterAt(s.readSlot(addr)).Add(uint64(tid))
+	already := s.filterAt(rs).Add(uint64(tid))
 	return writer, !already
 }
 
-// ObserveWrite implements Backend.
+// ObserveWrite implements Backend. One fused hash pass yields both slots.
 func (s *Asymmetric) ObserveWrite(addr uint64, tid int32) {
+	rs, ws := s.slots(addr)
 	// Clear the correspondent bloom filter in the read signature: the write
 	// produces a new value, so earlier readers must count again (Fig. 2's
 	// communicating-access rule).
-	if f := s.read[s.readSlot(addr)].Load(); f != nil {
+	if f := s.read[rs].Load(); f != nil {
 		f.Reset()
 		if p := s.opts.Probes; p != nil {
 			p.ReaderResets.Inc()
 		}
 	}
-	s.write[s.writeSlot(addr)].Store(tid + 1)
+	s.write[ws].Store(tid + 1)
 }
 
 // FootprintBytes implements Backend: the live heap held by the two arrays
@@ -245,26 +256,33 @@ func (s *Asymmetric) Occupancy() float64 {
 	return float64(s.allocated.Load()) / float64(s.opts.Slots)
 }
 
-// FillRatio samples up to sample allocated bloom filters (scanning slots
-// from 0) and returns their mean set-bit fraction, the second-level
-// saturation complement to Occupancy. Returns 0 when no filter is allocated.
-// Safe to call concurrently with a run; the result is a racy estimate.
+// FillRatio probes up to sample slots spread at a fixed stride across the
+// WHOLE slot range and returns the mean set-bit fraction of the allocated
+// bloom filters it finds — the second-level saturation complement to
+// Occupancy. (An earlier version scanned from slot 0 until it had collected
+// sample filters, so whenever more than sample filters were live the estimate
+// was computed exclusively from the lowest slots — a biased sample, since
+// address-hash locality makes slot position correlate with allocation age and
+// workload structure.) Returns 0 when no probed slot holds a filter. Safe to
+// call concurrently with a run; the result is a racy estimate.
 func (s *Asymmetric) FillRatio(sample int) float64 {
 	if sample <= 0 {
 		sample = 64
 	}
+	n := len(s.read)
+	stride := n / sample
+	if stride == 0 {
+		stride = 1
+	}
 	var sum float64
 	seen := 0
-	for slot := range s.read {
+	for slot := 0; slot < n && seen < sample; slot += stride {
 		f := s.read[slot].Load()
 		if f == nil {
 			continue
 		}
 		sum += float64(f.PopCount()) / float64(f.Bits())
 		seen++
-		if seen >= sample {
-			break
-		}
 	}
 	if seen == 0 {
 		return 0

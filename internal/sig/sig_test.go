@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"commprof/internal/bloom"
+	"commprof/internal/murmur"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -267,6 +268,74 @@ func TestBackendInterfaceCompliance(t *testing.T) {
 	s := newTestSig(t, 16)
 	if s.Name() == "" || NewPerfect(2).Name() == "" {
 		t.Error("backends must have names")
+	}
+}
+
+func TestFusedSlotsPreserveReadMapping(t *testing.T) {
+	// The fused single-pass addressing must keep the read-slot mapping
+	// bit-identical to the historical per-array hash (HashAddr with
+	// SeedRead), and the write half must not degenerate into the read half.
+	s := newTestSig(t, 1<<16)
+	same := 0
+	for i := 0; i < 4096; i++ {
+		addr := uint64(i) * 2654435761
+		rs, ws := s.slots(addr)
+		if want := murmur.HashAddr(addr, s.opts.SeedRead) % s.opts.Slots; rs != want {
+			t.Fatalf("addr %#x: fused read slot %d, historical mapping %d", addr, rs, want)
+		}
+		if rs == ws {
+			same++
+		}
+	}
+	// Two independent uniform hashes over 2^16 slots collide ~1/65536 per
+	// address; tolerate a little slack.
+	if same > 4 {
+		t.Errorf("read and write slots coincided %d/4096 times; halves not independent", same)
+	}
+}
+
+func TestFillRatioSamplesWholeSlotRange(t *testing.T) {
+	// Regression for the sampling bias: the old implementation scanned from
+	// slot 0 and stopped at the first `sample` allocated filters, so with
+	// more filters live than the sample size the estimate came exclusively
+	// from the lowest slots. Allocate near-empty filters in the low half and
+	// heavily-filled ones in the high half; a stride over the whole range
+	// must see both populations.
+	s := newTestSig(t, 1024)
+	for slot := uint64(0); slot < 256; slot++ {
+		s.filterAt(slot).Add(0) // one bit: fill ≈ 1/filterBits
+	}
+	for slot := uint64(512); slot < 768; slot++ {
+		f := s.filterAt(slot)
+		for tid := uint64(0); tid < 32; tid++ {
+			f.Add(tid) // saturated for the configured thread count
+		}
+	}
+	lowOnly := float64(s.filterAt(0).PopCount()) / float64(s.filterAt(0).Bits())
+	got := s.FillRatio(64)
+	if got <= 2*lowOnly {
+		t.Fatalf("FillRatio(64) = %v, indistinguishable from the low-slot population %v: high slots not sampled", got, lowOnly)
+	}
+	high := float64(s.filterAt(512).PopCount()) / float64(s.filterAt(512).Bits())
+	if want := (lowOnly + high) / 2; got < want/2 || got > want*2 {
+		t.Errorf("FillRatio(64) = %v, not within 2x of the two-population mean %v", got, want)
+	}
+}
+
+func TestFillRatioNoFilters(t *testing.T) {
+	s := newTestSig(t, 1024)
+	if got := s.FillRatio(64); got != 0 {
+		t.Fatalf("FillRatio on empty signature = %v, want 0", got)
+	}
+}
+
+// BenchmarkObserveRead is the miss-heavy hot-loop shape (every access a new
+// address): one fused hash pass, one atomic write-slot load, one bloom Add.
+func BenchmarkObserveRead(b *testing.B) {
+	s, _ := NewAsymmetric(Options{Slots: 1 << 20, Threads: 32, FPRate: 0.001})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ObserveRead(uint64(i)&0xffff*8, int32(i&31))
 	}
 }
 

@@ -35,7 +35,12 @@ func Record(opts Options, w io.Writer) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, err := detect.New(detect.Options{Threads: opts.Threads, Backend: backend, Table: prog.Table()})
+	// Recording always runs the deterministic engine (see below), so the
+	// single-consumer redundancy cache is safe here unconditionally.
+	d, err := detect.New(detect.Options{
+		Threads: opts.Threads, Backend: backend, Table: prog.Table(),
+		RedundancyCacheBits: opts.RedundancyCacheBits,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +129,8 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 	}
 	d, err := detect.New(detect.Options{
 		Threads: threads, Backend: backend, Table: dec.Table(),
-		Probes: probes.DetectProbes(),
+		RedundancyCacheBits: opts.RedundancyCacheBits,
+		Probes:              probes.DetectProbes(),
 	})
 	if err != nil {
 		return nil, err

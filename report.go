@@ -6,6 +6,7 @@ import (
 
 	"commprof/internal/comm"
 	"commprof/internal/patterns"
+	"commprof/internal/redundancy"
 )
 
 // Matrix is the public communication matrix: Bytes[src][dst] holds the bytes
@@ -113,8 +114,13 @@ type PipelineReport struct {
 	// BatchSize is the producer staging batch / worker drain limit in
 	// accesses.
 	BatchSize int
-	// Policy is the overload policy the run used ("block" or "degrade").
+	// Policy is the overload policy the run used ("block", "degrade" or
+	// "auto").
 	Policy string
+	// PolicyTransitions counts the auto policy's mode switches in both
+	// directions (block→degrade on a stall-rate spike, degrade→block once
+	// the queues drained); always 0 under the static policies.
+	PolicyTransitions uint64
 	// DroppedReads counts reads the degrade policy discarded while a shard
 	// queue was saturated; always 0 under the block policy.
 	DroppedReads uint64
@@ -133,6 +139,35 @@ type PipelineReport struct {
 	// ShardProcessed is each shard's analysed access count: the address-hash
 	// load balance across shards.
 	ShardProcessed []uint64
+}
+
+// RedundancyReport describes the redundancy-filtering fast path of a run
+// profiled with Options.RedundancyCacheBits > 0. HitRate is the headline
+// number: the fraction of accesses that skipped the signature backend
+// entirely.
+type RedundancyReport struct {
+	// CacheBits is log2 of each consumer cache's entry count.
+	CacheBits uint
+	// Hits counts accesses skipped as provably redundant.
+	Hits uint64
+	// Misses counts accesses forwarded to the signature backend.
+	Misses uint64
+	// Evictions counts direct-mapped index collisions that displaced a
+	// resident granule — the signal that CacheBits is undersized for the
+	// working set.
+	Evictions uint64
+	// HitRate is Hits / (Hits + Misses).
+	HitRate float64
+}
+
+func redundancyReport(st redundancy.Stats) *RedundancyReport {
+	return &RedundancyReport{
+		CacheBits: st.Bits,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		HitRate:   st.HitRate(),
+	}
 }
 
 // PhaseReport is one detected communication phase (§V-A4).
@@ -159,6 +194,10 @@ type Report struct {
 	// Pipeline describes the sharded analysis engine. Nil unless the run
 	// used Options.AnalysisShards.
 	Pipeline *PipelineReport `json:",omitempty"`
+	// Redundancy describes the redundancy-filtering fast path. Nil unless
+	// the run used Options.RedundancyCacheBits (and, for the serial
+	// analyser, ran under the deterministic scheduler).
+	Redundancy *RedundancyReport `json:",omitempty"`
 	// Telemetry is the self-observability snapshot of the run (metric
 	// counters/gauges/histograms plus pipeline-phase spans). Nil unless
 	// Options.Telemetry was set.
@@ -174,8 +213,15 @@ func (r *Report) Summary() string {
 	if p := r.Pipeline; p != nil {
 		fmt.Fprintf(&b, "sharded analysis: %d shards, queue capacity %d, batch %d, policy %s, dropped reads %d\n",
 			p.Shards, p.QueueCapacity, p.BatchSize, p.Policy, p.DroppedReads)
+		if p.PolicyTransitions > 0 {
+			fmt.Fprintf(&b, "auto policy transitions: %d\n", p.PolicyTransitions)
+		}
 		fmt.Fprintf(&b, "peak resident accesses: %d (%d producer flushes)\n",
 			p.PeakResidentAccesses, p.ProducerFlushes)
+	}
+	if rd := r.Redundancy; rd != nil {
+		fmt.Fprintf(&b, "redundancy fast path: 2^%d entries, %.1f%% of accesses skipped (%d hits, %d misses, %d evictions)\n",
+			rd.CacheBits, 100*rd.HitRate, rd.Hits, rd.Misses, rd.Evictions)
 	}
 	b.WriteByte('\n')
 	b.WriteString("region tree:\n")

@@ -1,49 +1,124 @@
 #!/bin/sh
-# bench.sh — serial vs sharded-pipeline analysis throughput.
-# Runs the ProcessStream benchmarks in internal/pipeline (the serial
-# detect.Detector baseline plus the sharded engine at 1/2/4/8 shards) over
-# one recorded workload stream, and writes BENCH_pipeline.json at the repo
-# root with ns/op, events/sec and shard count per row. Configure with:
-#   BENCH_APP   workload name      (default radix)
-#   BENCH_SIZE  input size         (default simlarge)
-#   BENCH_TIME  go test -benchtime (default 3x)
+# bench.sh — analysis-throughput benchmarks.
+#
+# Modes (first argument, default "pipeline"):
+#
+#   pipeline   Serial vs sharded-pipeline analysis throughput. Runs the
+#              ProcessStream benchmarks in internal/pipeline (the serial
+#              detect.Detector baseline plus the sharded engine at 1/2/4/8
+#              shards) over one recorded workload stream and writes
+#              BENCH_pipeline.json with ns/op, events/sec and shard count
+#              per row.
+#
+#   hotpath    Detection hot-loop cost with and without the redundancy
+#              fast path. Runs the ProcessUnfiltered / ProcessFiltered
+#              benchmarks in internal/detect (serial detector, asymmetric
+#              backend) over the BENCH_APPS workloads and writes
+#              BENCH_hotpath.json with ns/access, cache hit rate and the
+#              filtered-vs-unfiltered speedup per workload.
+#
+# Configure with:
+#   BENCH_APP    pipeline-mode workload          (default radix)
+#   BENCH_APPS   hotpath-mode workload list      (default "radix fft")
+#   BENCH_SIZE   input size                      (default simlarge)
+#   BENCH_TIME   go test -benchtime              (default 3x)
+#   BENCH_REDUN_BITS  hotpath cache bits         (default 14)
 # Parallel speedup needs spare cores: with GOMAXPROCS=1 the sharded rows
-# measure queueing overhead and cache-locality gains only.
+# measure queueing overhead and cache-locality gains only. The hotpath mode
+# is single-threaded by construction and unaffected.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-app="${BENCH_APP:-radix}"
+mode="${1:-pipeline}"
 size="${BENCH_SIZE:-simlarge}"
 benchtime="${BENCH_TIME:-3x}"
-out="BENCH_pipeline.json"
 
-echo "== bench: $app/$size (benchtime $benchtime, GOMAXPROCS=$(go env GOMAXPROCS 2>/dev/null || echo '?')) =="
-raw=$(BENCH_APP="$app" BENCH_SIZE="$size" go test -run '^$' -bench ProcessStream \
-	-benchtime "$benchtime" ./internal/pipeline/)
-echo "$raw"
+bench_pipeline() {
+	app="${BENCH_APP:-radix}"
+	out="BENCH_pipeline.json"
 
-echo "$raw" | awk -v app="$app" -v size="$size" '
-/^Benchmark/ {
-	# $1 is e.g. BenchmarkSerialProcessStream, BenchmarkPipelineProcessStream/shards-4,
-	# or with GOMAXPROCS>1 a trailing -N suffix on either. Parse the shard
-	# count before touching the name so the suffix strip cannot eat it.
-	shards = 0 # 0 = the serial detector baseline
-	if (match($1, /\/shards-[0-9]+/)) shards = substr($1, RSTART + 8, RLENGTH - 8) + 0
-	name = (shards > 0) ? sprintf("pipeline/shards-%d", shards) : "serial"
-	ns = ""; ev = ""
-	for (i = 2; i < NF; i++) {
-		if ($(i + 1) == "ns/op") ns = $i
-		if ($(i + 1) == "events/s") ev = $i
+	echo "== bench pipeline: $app/$size (benchtime $benchtime, GOMAXPROCS=$(go env GOMAXPROCS 2>/dev/null || echo '?')) =="
+	raw=$(BENCH_APP="$app" BENCH_SIZE="$size" go test -run '^$' -bench ProcessStream \
+		-benchtime "$benchtime" ./internal/pipeline/)
+	echo "$raw"
+
+	echo "$raw" | awk -v app="$app" -v size="$size" '
+	/^Benchmark/ {
+		# $1 is e.g. BenchmarkSerialProcessStream, BenchmarkPipelineProcessStream/shards-4,
+		# or with GOMAXPROCS>1 a trailing -N suffix on either. Parse the shard
+		# count before touching the name so the suffix strip cannot eat it.
+		shards = 0 # 0 = the serial detector baseline
+		if (match($1, /\/shards-[0-9]+/)) shards = substr($1, RSTART + 8, RLENGTH - 8) + 0
+		name = (shards > 0) ? sprintf("pipeline/shards-%d", shards) : "serial"
+		ns = ""; ev = ""
+		for (i = 2; i < NF; i++) {
+			if ($(i + 1) == "ns/op") ns = $i
+			if ($(i + 1) == "events/s") ev = $i
+		}
+		if (ns == "") next
+		rows[n++] = sprintf("    {\"name\": \"%s\", \"shards\": %d, \"ns_per_op\": %.0f, \"events_per_sec\": %.0f}",
+			name, shards, ns, ev)
 	}
-	if (ns == "") next
-	rows[n++] = sprintf("    {\"name\": \"%s\", \"shards\": %d, \"ns_per_op\": %.0f, \"events_per_sec\": %.0f}",
-		name, shards, ns, ev)
-}
-END {
-	printf "{\n  \"workload\": \"%s\",\n  \"size\": \"%s\",\n  \"rows\": [\n", app, size
-	for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
-	printf "  ]\n}\n"
-}' > "$out"
+	END {
+		printf "{\n  \"workload\": \"%s\",\n  \"size\": \"%s\",\n  \"rows\": [\n", app, size
+		for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+		printf "  ]\n}\n"
+	}' > "$out"
 
-echo "wrote $out"
+	echo "wrote $out"
+}
+
+bench_hotpath() {
+	apps="${BENCH_APPS:-radix fft}"
+	bits="${BENCH_REDUN_BITS:-14}"
+	out="BENCH_hotpath.json"
+	tmp=$(mktemp)
+	trap 'rm -f "$tmp"' EXIT
+
+	for app in $apps; do
+		echo "== bench hotpath: $app/$size (redundancy bits $bits, benchtime $benchtime) =="
+		raw=$(BENCH_APP="$app" BENCH_SIZE="$size" BENCH_REDUN_BITS="$bits" \
+			go test -run '^$' -bench 'Process(Unfiltered|Filtered)' \
+			-benchtime "$benchtime" ./internal/detect/)
+		echo "$raw"
+		echo "$raw" | awk -v app="$app" '
+		/^BenchmarkProcess/ {
+			ns = ""; hr = ""
+			for (i = 2; i < NF; i++) {
+				if ($(i + 1) == "ns/access") ns = $i
+				if ($(i + 1) == "hitrate") hr = $i
+			}
+			if (ns == "") next
+			if ($1 ~ /Unfiltered/) base = ns
+			else { filt = ns; hit = hr }
+		}
+		END {
+			if (base == "" || filt == "") exit 1
+			printf "%s %s %s %s\n", app, base, filt, hit
+		}' >> "$tmp"
+	done
+
+	awk -v size="$size" -v bits="$bits" '
+	{
+		rows[n++] = sprintf("    {\"workload\": \"%s\", \"unfiltered_ns_per_access\": %.1f, \"filtered_ns_per_access\": %.1f, \"hit_rate\": %.4f, \"speedup\": %.2f}",
+			$1, $2, $3, $4, $2 / $3)
+	}
+	END {
+		printf "{\n  \"size\": \"%s\",\n  \"redundancy_bits\": %d,\n  \"rows\": [\n", size, bits
+		for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+		printf "  ]\n}\n"
+	}' "$tmp" > "$out"
+
+	echo "wrote $out"
+	cat "$out"
+}
+
+case "$mode" in
+pipeline) bench_pipeline ;;
+hotpath) bench_hotpath ;;
+*)
+	echo "bench.sh: unknown mode '$mode' (want pipeline or hotpath)" >&2
+	exit 2
+	;;
+esac

@@ -28,6 +28,12 @@ const (
 	// Writes are never dropped — losing a write would corrupt last-writer
 	// attribution rather than merely losing volume.
 	ShardPolicyDegrade ShardPolicy = "degrade"
+	// ShardPolicyAuto adapts between the two: exhaustive (blocking) analysis
+	// until producer stall episodes show sustained overload, then degrade
+	// until every shard queue drains, then exhaustive again. Mode switches
+	// are counted in Report.Pipeline.PolicyTransitions; a run that never
+	// overloads behaves exactly like ShardPolicyBlock.
+	ShardPolicyAuto ShardPolicy = "auto"
 )
 
 func (p ShardPolicy) toInternal() (pipeline.OverloadPolicy, error) {
@@ -36,8 +42,10 @@ func (p ShardPolicy) toInternal() (pipeline.OverloadPolicy, error) {
 		return pipeline.PolicyBlock, nil
 	case ShardPolicyDegrade:
 		return pipeline.PolicyDegrade, nil
+	case ShardPolicyAuto:
+		return pipeline.PolicyAuto, nil
 	}
-	return 0, fmt.Errorf("commprof: unknown shard policy %q (want %q or %q)", p, ShardPolicyBlock, ShardPolicyDegrade)
+	return 0, fmt.Errorf("commprof: unknown shard policy %q (want %q, %q or %q)", p, ShardPolicyBlock, ShardPolicyDegrade, ShardPolicyAuto)
 }
 
 // newPipeline maps the public Options onto a sharded analysis engine whose
@@ -55,15 +63,17 @@ func newPipeline(opts Options, threads int, table *trace.Table, probes *obs.Prob
 		return nil, err
 	}
 	return pipeline.New(pipeline.Options{
-		Shards:          shards,
-		Threads:         threads,
-		Table:           table,
-		GranularityBits: opts.GranularityBits,
-		QueueCapacity:   opts.ShardQueueCapacity,
-		BatchSize:       opts.ShardBatchSize,
-		Policy:          policy,
-		NewBackend:      pipeline.AsymmetricFactory(opts.SignatureSlots, shards, threads, opts.BloomFPRate, probes.SigProbes()),
-		Probes:          probes.PipelineProbes(),
+		Shards:              shards,
+		Threads:             threads,
+		Table:               table,
+		GranularityBits:     opts.GranularityBits,
+		QueueCapacity:       opts.ShardQueueCapacity,
+		BatchSize:           opts.ShardBatchSize,
+		Policy:              policy,
+		RedundancyCacheBits: opts.RedundancyCacheBits,
+		NewBackend:          pipeline.AsymmetricFactory(opts.SignatureSlots, shards, threads, opts.BloomFPRate, probes.SigProbes()),
+		Probes:              probes.PipelineProbes(),
+		DetectProbes:        probes.DetectProbes(),
 	})
 }
 
@@ -171,6 +181,9 @@ func buildReportSharded(name string, threads int, pe *pipeline.Engine, stats exe
 		return nil, nil, err
 	}
 	rep.Pipeline = pipelineReport(pe)
+	if rst, ok := pe.RedundancyStats(); ok {
+		rep.Redundancy = redundancyReport(rst)
+	}
 	return rep, tree, nil
 }
 
@@ -182,6 +195,7 @@ func pipelineReport(pe *pipeline.Engine) *PipelineReport {
 		QueueCapacity:        pe.QueueCapacity(),
 		BatchSize:            pe.BatchSize(),
 		Policy:               pe.Policy().String(),
+		PolicyTransitions:    pe.PolicyTransitions(),
 		DroppedReads:         pe.Stats().DroppedReads,
 		ProducerFlushes:      pe.ProducerFlushes(),
 		PeakResidentAccesses: pe.PeakResidentAccesses(),

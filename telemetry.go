@@ -131,6 +131,9 @@ type ProgressSnapshot struct {
 	SigFilters   uint64  `json:"sig_filters"`
 	SigOccupancy float64 `json:"sig_occupancy"`
 	SigFillRatio float64 `json:"sig_fill_ratio"`
+	// RedundancyHitRate is the live fraction of accesses the redundancy
+	// fast path skipped (0 when the cache is off).
+	RedundancyHitRate float64 `json:"redundancy_hit_rate"`
 }
 
 // Progress returns a point-in-time snapshot of the current (or last) run.
@@ -222,6 +225,12 @@ func (t *Telemetry) wireRun(eng *exec.Engine, d *detect.Detector, backend *sig.A
 	reg.GaugeFunc("sig_slot_occupancy", backend.Occupancy)
 	reg.GaugeFunc("sig_bloom_fill_ratio", func() float64 { return backend.FillRatio(256) })
 	reg.GaugeFunc("sig_footprint_bytes", func() float64 { return float64(backend.FootprintBytes()) })
+	if _, ok := d.RedundancyStats(); ok {
+		reg.GaugeFunc("redundancy_hit_rate", func() float64 {
+			st, _ := d.RedundancyStats()
+			return st.HitRate()
+		})
+	}
 	if smp != nil {
 		reg.GaugeFunc("detect_sampler_skipped_reads", func() float64 { return float64(smp.Skipped()) })
 	}
@@ -235,6 +244,10 @@ func (t *Telemetry) wireRun(eng *exec.Engine, d *detect.Detector, backend *sig.A
 		var skipped uint64
 		if smp != nil {
 			skipped = smp.Skipped()
+		}
+		var redunRate float64
+		if rst, ok := d.RedundancyStats(); ok {
+			redunRate = rst.HitRate()
 		}
 		return ProgressSnapshot{
 			Phase:          t.tracer.Current(),
@@ -250,6 +263,8 @@ func (t *Telemetry) wireRun(eng *exec.Engine, d *detect.Detector, backend *sig.A
 			SigFilters:     backend.AllocatedFilters(),
 			SigOccupancy:   backend.Occupancy(),
 			SigFillRatio:   backend.FillRatio(64),
+
+			RedundancyHitRate: redunRate,
 		}
 	})
 }
@@ -279,6 +294,12 @@ func (t *Telemetry) wireRunSharded(eng *exec.Engine, pe *pipeline.Engine) {
 	})
 	reg.GaugeFunc("sig_footprint_bytes", func() float64 { return float64(pe.SigFootprintBytes()) })
 	reg.GaugeFunc("pipeline_dropped_reads", func() float64 { return float64(pe.Stats().DroppedReads) })
+	if _, ok := pe.RedundancyStats(); ok {
+		reg.GaugeFunc("redundancy_hit_rate", func() float64 {
+			st, _ := pe.RedundancyStats()
+			return st.HitRate()
+		})
+	}
 	for i := 0; i < pe.Shards(); i++ {
 		i := i
 		reg.GaugeFunc(fmt.Sprintf("pipeline_shard_%d_depth", i), func() float64 {
@@ -296,6 +317,10 @@ func (t *Telemetry) wireRunSharded(eng *exec.Engine, pe *pipeline.Engine) {
 		for i := range depths {
 			depths[i] = pe.ShardDepth(i)
 		}
+		var redunRate float64
+		if rst, ok := pe.RedundancyStats(); ok {
+			redunRate = rst.HitRate()
+		}
 		return ProgressSnapshot{
 			Phase:          t.tracer.Current(),
 			ElapsedSeconds: elapsed,
@@ -308,6 +333,8 @@ func (t *Telemetry) wireRunSharded(eng *exec.Engine, pe *pipeline.Engine) {
 			BarrierEpochs:  eng.BarrierEpochs(),
 			ShardDepths:    depths,
 			DroppedReads:   st.DroppedReads,
+
+			RedundancyHitRate: redunRate,
 		}
 	})
 }
