@@ -56,9 +56,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		replay   = fs.String("replay", "", "analyse a recorded trace file instead of running a benchmark")
 		telem    = fs.Bool("telemetry", false, "collect profiler self-observability metrics and print a Prometheus-text dump after the run")
 		telAddr  = fs.String("telemetry-addr", "", "serve live /metrics, /metrics.json and /progress on this address during the run (e.g. :9090, :0 picks a port)")
+		telDump  = fs.String("telemetry-dump", "", "write a final Prometheus-text metrics snapshot to this file at exit (for scrape-less CI environments)")
+		accBits  = fs.Uint("accuracy-bits", 0, "accuracy-monitor sample slice: shadow 1 of every 2^N granules with an exact detector (0 = every granule; only meaningful with -accuracy-target or when set explicitly)")
+		accTgt   = fs.Float64("accuracy-target", 0, "enable the online signature-accuracy monitor and alarm when the estimated FPR crosses this target, e.g. 0.05 (0 = off unless -accuracy-bits is set, which implies the default target)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	// Setting either accuracy flag opts into the monitor; -accuracy-bits
+	// alone runs against the default target. flag.Visit distinguishes an
+	// explicit -accuracy-bits 0 (sample everything) from the flag's absence.
+	accuracyOn := *accTgt > 0
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "accuracy-bits" {
+			accuracyOn = true
+		}
+	})
+	if accuracyOn && *accTgt == 0 {
+		*accTgt = commprof.DefaultAccuracyTargetFPR
 	}
 
 	if *list {
@@ -90,8 +105,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *sample > 0 {
 		opts.SampleBurst, opts.SamplePeriod = 1, uint32(*sample)
 	}
+	if accuracyOn {
+		opts.AccuracyTargetFPR = *accTgt
+		opts.AccuracySampleBits = *accBits
+	}
 	var tel *commprof.Telemetry
-	if *telem || *telAddr != "" {
+	if *telem || *telAddr != "" || *telDump != "" {
 		tel = commprof.NewTelemetry()
 		opts.Telemetry = tel
 		if *telAddr != "" {
@@ -117,7 +136,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		rep, err = commprof.Replay(f, *threads, opts)
 	case *app == "all":
-		return runAll(opts, stdout, stderr)
+		code := runAll(opts, stdout, stderr)
+		if rc := writeTelemetryDump(tel, *telDump, stderr); code == 0 && rc != 0 {
+			return rc
+		}
+		return code
 	case *app == "":
 		fmt.Fprintln(stderr, "commprof: -app is required (or -list/-replay); available:", strings.Join(commprof.Workloads(), ", "))
 		return 2
@@ -137,6 +160,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "commprof:", err)
 		return 1
+	}
+	if rc := writeTelemetryDump(tel, *telDump, stderr); rc != 0 {
+		return rc
 	}
 
 	if *jsonOut {
@@ -179,6 +205,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "commprof:", err)
 			return 1
 		}
+	}
+	return 0
+}
+
+// writeTelemetryDump writes a final Prometheus-text snapshot to path; a
+// no-op when either the path or the telemetry handle is absent. Returns a
+// process exit code.
+func writeTelemetryDump(tel *commprof.Telemetry, path string, stderr io.Writer) int {
+	if tel == nil || path == "" {
+		return 0
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "commprof:", err)
+		return 1
+	}
+	err = tel.WriteProm(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "commprof:", err)
+		return 1
 	}
 	return 0
 }

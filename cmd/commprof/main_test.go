@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+
+	"commprof"
 )
 
 func jsonUnmarshal(s string, v any) error { return json.Unmarshal([]byte(s), v) }
@@ -197,5 +200,106 @@ func TestGranularityFlag(t *testing.T) {
 	code, _, errOut := runCLI(t, "-app", "ocean_cp", "-threads", "8", "-granularity", "6")
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut)
+	}
+}
+
+// parseProm checks a Prometheus text dump line by line and returns the
+// metric names it declares.
+func parseProm(t *testing.T, data string) map[string]bool {
+	t.Helper()
+	names := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimRight(data, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE comment %q", i+1, line)
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("line %d: malformed sample %q", i+1, line)
+		}
+		name := fields[0]
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			name = name[:j]
+		}
+		if _, err := strconv.ParseFloat(fields[len(fields)-1], 64); err != nil {
+			t.Fatalf("line %d: value not a float in %q: %v", i+1, line, err)
+		}
+		names[name] = true
+	}
+	return names
+}
+
+func TestTelemetryDumpFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "final.prom")
+	code, _, errOut := runCLI(t, "-app", "fft", "-threads", "8",
+		"-accuracy-bits", "0", "-telemetry-dump", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := parseProm(t, string(data))
+	for _, want := range []string{
+		"accuracy_sampled_total", "accuracy_confirmed_total",
+		"accuracy_false_positives_total", "accuracy_missed_events_total",
+		"accuracy_estimated_fpr", "sig_fill_ratio",
+		"detect_events_total",
+	} {
+		if !names[want] {
+			t.Errorf("dump missing metric %s", want)
+		}
+	}
+}
+
+func TestTelemetryDumpBadPath(t *testing.T) {
+	code, _, errOut := runCLI(t, "-app", "fft", "-threads", "8",
+		"-telemetry-dump", filepath.Join(t.TempDir(), "no", "such", "dir", "f.prom"))
+	if code != 1 || !strings.Contains(errOut, "commprof:") {
+		t.Fatalf("exit %d, err %q", code, errOut)
+	}
+}
+
+// TestAccuracyFlags covers the enable convention: -accuracy-target alone,
+// -accuracy-bits alone (implies the default target), and neither (off).
+func TestAccuracyFlags(t *testing.T) {
+	code, out, errOut := runCLI(t, "-app", "radix", "-threads", "8", "-sig", "512",
+		"-accuracy-target", "0.02", "-accuracy-bits", "1")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "accuracy monitor: 1/2 of granules shadowed") {
+		t.Errorf("accuracy summary missing:\n%s", out)
+	}
+	code, out, errOut = runCLI(t, "-app", "fft", "-threads", "8", "-accuracy-bits", "0", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var rep struct {
+		Accuracy *struct{ TargetFPR float64 }
+	}
+	if err := jsonUnmarshal(out, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accuracy == nil || rep.Accuracy.TargetFPR != commprof.DefaultAccuracyTargetFPR {
+		t.Errorf("-accuracy-bits alone: Accuracy = %+v, want default target", rep.Accuracy)
+	}
+	code, out, errOut = runCLI(t, "-app", "fft", "-threads", "8", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var off struct{ Accuracy *struct{} }
+	if err := jsonUnmarshal(out, &off); err != nil {
+		t.Fatal(err)
+	}
+	if off.Accuracy != nil {
+		t.Error("accuracy section present without accuracy flags")
 	}
 }

@@ -22,10 +22,12 @@ package commprof
 import (
 	"fmt"
 
+	"commprof/internal/accuracy"
 	"commprof/internal/comm"
 	"commprof/internal/detect"
 	"commprof/internal/exec"
 	"commprof/internal/metrics"
+	"commprof/internal/obs"
 	"commprof/internal/sig"
 	"commprof/internal/splash"
 )
@@ -114,6 +116,28 @@ type Options struct {
 	// silently disabled; the sharded analyser (AnalysisShards > 0) gives
 	// every shard worker a private cache and filters in any mode.
 	RedundancyCacheBits uint
+	// AccuracyTargetFPR, when positive (and < 1), enables the online
+	// signature-accuracy monitor: a deterministically hash-selected
+	// 1/2^AccuracySampleBits slice of the granule address space is analysed
+	// a second time by an exact collision-free shadow, and every production
+	// communicating-access verdict in the slice is confirmed or refuted
+	// against it. The run gains Report.Accuracy — a live estimate of the
+	// signature false-positive rate (the paper's §V-A3 number) with a 95%
+	// confidence interval, an Eq. 2 recommended-signature-size advisor, and
+	// a warn-once saturation alarm — at the cost of shadowing the sampled
+	// slice exactly. Zero (the default) disables the monitor. The value is
+	// the FPR the run is expected to stay under; DefaultAccuracyTargetFPR
+	// is a reasonable starting point. Like RedundancyCacheBits, the serial
+	// analyser monitors only under the deterministic scheduler — with
+	// Parallel the single-consumer shadow pairing would race — while the
+	// sharded analyser (AnalysisShards > 0) monitors per shard in any mode.
+	AccuracyTargetFPR float64
+	// AccuracySampleBits is k in the 1/2^k accuracy sample: 0 shadows every
+	// granule (exact — Report.Accuracy.EstimatedFPR equals the offline
+	// exact-diff FPR, at unbounded shadow memory), each added bit halves
+	// the monitored slice and the monitor's cost. Ignored unless
+	// AccuracyTargetFPR is set. At most accuracy.MaxSampleBits (16).
+	AccuracySampleBits uint
 	// Telemetry, when non-nil, threads self-observability probes through
 	// the signature, detector and executor layers, records run-phase spans,
 	// and attaches an end-of-run snapshot as Report.Telemetry. See
@@ -140,6 +164,53 @@ func (o *Options) setDefaults() {
 	if o.MaxHotspots == 0 {
 		o.MaxHotspots = 10
 	}
+}
+
+// DefaultAccuracyTargetFPR is a reasonable Options.AccuracyTargetFPR when
+// the caller has no specific budget: 5%, between the paper's 8.4% and 2.1%
+// operating points.
+const DefaultAccuracyTargetFPR = accuracy.DefaultTargetFPR
+
+// accuracyOptions maps the public accuracy knobs onto internal/accuracy
+// options; nil when the monitor is disabled (AccuracyTargetFPR == 0).
+func (o Options) accuracyOptions(threads int, probes *obs.Probes) *accuracy.Options {
+	if o.AccuracyTargetFPR <= 0 {
+		return nil
+	}
+	return &accuracy.Options{
+		Threads:    threads,
+		SampleBits: o.AccuracySampleBits,
+		TargetFPR:  o.AccuracyTargetFPR,
+		Probes:     probes.AccuracyProbes(),
+	}
+}
+
+// newAccuracyMonitor builds the serial analyser's monitor, or nil when the
+// monitor is disabled.
+func newAccuracyMonitor(o Options, threads int, probes *obs.Probes) (*accuracy.Monitor, error) {
+	ao := o.accuracyOptions(threads, probes)
+	if ao == nil {
+		return nil, nil
+	}
+	return accuracy.New(*ao)
+}
+
+// attachAccuracy renders a serial detector's monitor into Report.Accuracy:
+// it runs the final alarm evaluation against the production signature's
+// closing fill ratio, derives the estimate and the Eq. 2 recommendation, and
+// (when the run had telemetry) attaches the recorded fill trajectory. A
+// no-op when the run was unmonitored.
+func attachAccuracy(rep *Report, d *detect.Detector, opts Options, threads int, backend *sig.Asymmetric, tel *Telemetry) {
+	mon := d.Accuracy()
+	if mon == nil {
+		return
+	}
+	fill := backend.FillRatio(256)
+	mon.Evaluate(fill)
+	est := mon.Estimate()
+	rec := accuracy.Recommend(est, opts.SignatureSlots, threads, opts.BloomFPRate)
+	alarm, _ := mon.Alarm()
+	rep.Accuracy = accuracyReport(est, rec, mon.ShadowFootprintBytes(), fill, tel.fillTrajectory(), alarm)
 }
 
 // Workloads returns the names of the bundled SPLASH-2-style benchmarks.
@@ -186,7 +257,14 @@ func Profile(opts Options) (*Report, error) {
 	if !opts.Parallel {
 		// Parallel mode would drive the single-consumer cache from many
 		// goroutines at once; see the Options.RedundancyCacheBits contract.
+		// The accuracy monitor has the same single-consumer contract: the
+		// production and shadow verdicts of a granule must interleave in one
+		// temporal order to stay paired.
 		dopts.RedundancyCacheBits = opts.RedundancyCacheBits
+		dopts.Accuracy, err = newAccuracyMonitor(opts, opts.Threads, probes)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if opts.PhaseWindow > 0 && !opts.Parallel {
 		seg, err = metrics.NewPhaseSegmenter(opts.Threads, opts.PhaseWindow, 0.7)
@@ -226,6 +304,7 @@ func Profile(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	attachAccuracy(rep, d, opts, opts.Threads, backend, tel)
 	rep.SampleFraction = sampleFraction
 	if seg != nil {
 		for _, ph := range seg.Finish() {

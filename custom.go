@@ -58,20 +58,30 @@ func ProfileTrace(accesses []Access, regions []Region, threads int, opts Options
 	if err := table.Validate(); err != nil {
 		return nil, fmt.Errorf("commprof: invalid region list: %w", err)
 	}
+	tel := opts.Telemetry
+	probes := tel.probes()
 	backend, err := sig.NewAsymmetric(sig.Options{
 		Slots: opts.SignatureSlots, Threads: threads, FPRate: opts.BloomFPRate,
+		Probes: probes.SigProbes(),
 	})
 	if err != nil {
 		return nil, err
 	}
-	// The replay loop below is the cache's single consumer.
+	mon, err := newAccuracyMonitor(opts, threads, probes)
+	if err != nil {
+		return nil, err
+	}
+	// The replay loop below is the cache's and the monitor's single consumer.
 	d, err := detect.New(detect.Options{
 		Threads: threads, Backend: backend, Table: table,
 		RedundancyCacheBits: opts.RedundancyCacheBits,
+		Accuracy:            mon,
+		Probes:              probes.DetectProbes(),
 	})
 	if err != nil {
 		return nil, err
 	}
+	tel.wireRun(nil, d, backend, nil)
 	var stats exec.Stats
 	for i, a := range accesses {
 		if a.Thread < 0 || int(a.Thread) >= threads {
@@ -93,8 +103,13 @@ func ProfileTrace(accesses []Access, regions []Region, threads int, opts Options
 			Thread: a.Thread, Region: a.Region, Kind: k,
 		})
 	}
-	rep, _, err := buildReport("trace", threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, nil)
-	return rep, err
+	rep, tree, err := buildReport("trace", threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, tel)
+	if err != nil {
+		return nil, err
+	}
+	attachAccuracy(rep, d, opts, threads, backend, tel)
+	tel.finishRun(rep, tree)
+	return rep, nil
 }
 
 // Thread is the handle a custom workload body uses inside Run: it mirrors
@@ -168,9 +183,13 @@ func Run(threads int, regions []Region, body func(*Thread), opts Options) (*Repo
 		Probes: probes.DetectProbes(),
 	}
 	if !opts.Parallel {
-		// Same contract as Profile: the single-consumer cache needs the
-		// deterministic scheduler's serialized probe.
+		// Same contract as Profile: the single-consumer cache and accuracy
+		// monitor need the deterministic scheduler's serialized probe.
 		dopts.RedundancyCacheBits = opts.RedundancyCacheBits
+		dopts.Accuracy, err = newAccuracyMonitor(opts, threads, probes)
+		if err != nil {
+			return nil, err
+		}
 	}
 	d, err := detect.New(dopts)
 	if err != nil {
@@ -191,6 +210,7 @@ func Run(threads int, regions []Region, body func(*Thread), opts Options) (*Repo
 	if err != nil {
 		return nil, err
 	}
+	attachAccuracy(rep, d, opts, threads, backend, tel)
 	tel.finishRun(rep, tree)
 	return rep, nil
 }

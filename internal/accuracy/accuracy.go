@@ -1,0 +1,433 @@
+// Package accuracy implements the online signature-accuracy monitor: a
+// shadow-sampling estimator that turns the paper's offline false-positive
+// sweep (§V-A3, the 85.8 / 22.0 / 8.4 / 2.1 % averages) into a live,
+// always-on observable of every profiling run.
+//
+// The idea: for a deterministically hash-selected 1/2^k slice of the granule
+// address space, run an exact collision-free shadow detector (sig.Perfect)
+// next to the production asymmetric signature and compare their
+// communicating-access verdicts access by access. A bounded-signature event
+// whose shadow verdict disagrees (no dependence, or a different writer) is a
+// confirmed false positive; the ratio of false positives to signature events
+// in the sampled slice estimates the run's signature FPR, with a Wilson
+// score interval quantifying the sampling noise.
+//
+// Sampling by granule — not by access — is what makes the estimate sound:
+// the communicating-access rule (Fig. 2) for a granule depends only on the
+// temporally ordered history of that granule, so a granule that is sampled
+// has its *entire* read/write history shadowed and every production verdict
+// in the slice is paired with an exact verdict computed from identical
+// state. This is the same argument that makes address-hash shard routing
+// exact (internal/pipeline) and the redundancy fast path sound
+// (internal/redundancy): slicing the address space never cuts a granule's
+// history. An access-sampled shadow, by contrast, would miss writes and
+// mis-resolve last-writer attribution inside the sample.
+//
+// Interaction with the redundancy fast path: accesses the redundancy cache
+// skips reach neither the production backend nor the shadow, so verdict
+// pairs stay aligned. The skip rules are provable no-ops under the exact
+// rule (see internal/redundancy), hence skipping them from the shadow loses
+// no events; the one observable difference — a skipped read-over-own-write
+// is not recorded in the shadow's reader set — is the same unobservable
+// omission the redundancy package already argues for the production
+// backend, and it holds a fortiori on the collision-free shadow.
+//
+// The monitor also carries the Eq. 2 advisor: from the measured FPR and the
+// target FPR it recommends a signature size (collision probability at small
+// load factors is linear in working-set/slots, so slots scale by the
+// measured-to-target ratio) and prices it with the paper's Eq. 2 memory
+// model. A warn-once alarm latches when the estimate's Wilson lower bound
+// crosses the target, or when the production signature's bloom fill ratio
+// shows saturation.
+package accuracy
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"commprof/internal/obs"
+	"commprof/internal/sig"
+)
+
+// DefaultTargetFPR is the advisor/alarm target used when a caller enables
+// the monitor without choosing one: 5%, between the paper's 8.4% (1e7
+// slots) and 2.1% (1e8 slots) operating points.
+const DefaultTargetFPR = 0.05
+
+// MaxSampleBits bounds the sample slice at 1/2^16 of the granule space;
+// thinner slices see too few events to estimate anything.
+const MaxSampleBits = 16
+
+// FillAlarmRatio is the bloom-filter fill ratio beyond which the alarm
+// reports signature saturation: at 0.5 a per-slot filter answers "yes" for
+// roughly 2^(hashes) times its intended false-positive budget.
+const FillAlarmRatio = 0.5
+
+// sampleMix is the multiplicative-hash constant of the sample selector (an
+// odd 64-bit mix constant, distinct from the redundancy cache's Fibonacci
+// multiplier and the pipeline's shard seed so the sampled slice correlates
+// with neither cache indexing nor shard routing).
+const sampleMix uint64 = 0xD6E8FEB86659FD93
+
+// Options configures a Monitor.
+type Options struct {
+	// Threads is the target program's thread count (sizes the shadow).
+	Threads int
+	// SampleBits is k: the monitor shadows the 1/2^k hash-selected slice of
+	// the granule address space. 0 samples every granule (full shadowing,
+	// the configuration under which the estimate equals the offline
+	// exact-diff FPR); each additional bit halves the slice and the
+	// monitor's memory/time cost.
+	SampleBits uint
+	// TargetFPR is the acceptable signature false-positive rate the advisor
+	// sizes for and the alarm compares against. Required, in (0,1).
+	TargetFPR float64
+	// Seed perturbs the sample selector so repeated runs can shadow
+	// different slices (used by the estimator-validation tests); 0 keeps
+	// the default slice.
+	Seed uint64
+	// Probes, when non-nil, receives self-observability telemetry. Nil
+	// keeps the monitor uninstrumented.
+	Probes *obs.AccuracyProbes
+}
+
+// Monitor pairs production detection verdicts with exact shadow verdicts
+// over the sampled granule slice. One Monitor belongs to one consuming
+// goroutine (the serial detector's driver or one shard worker), exactly
+// like the redundancy cache; the counters are atomics only so telemetry
+// snapshots can read a consistent-enough view while a run is in flight.
+type Monitor struct {
+	opts   Options
+	shift  uint // 64 - SampleBits; hash >> shift == 0 selects the slice
+	shadow *sig.Perfect
+
+	sampledReads  atomic.Uint64
+	sampledWrites atomic.Uint64
+	sigEvents     atomic.Uint64
+	confirmed     atomic.Uint64
+	falsePos      atomic.Uint64
+	missed        atomic.Uint64
+
+	alarm Alarm
+}
+
+// New builds a monitor.
+func New(opts Options) (*Monitor, error) {
+	if opts.Threads <= 0 {
+		return nil, fmt.Errorf("accuracy: Threads must be positive, got %d", opts.Threads)
+	}
+	if opts.SampleBits > MaxSampleBits {
+		return nil, fmt.Errorf("accuracy: SampleBits must be at most %d, got %d", MaxSampleBits, opts.SampleBits)
+	}
+	if opts.TargetFPR <= 0 || opts.TargetFPR >= 1 {
+		return nil, fmt.Errorf("accuracy: TargetFPR must be in (0,1), got %v", opts.TargetFPR)
+	}
+	return &Monitor{
+		opts:   opts,
+		shift:  64 - opts.SampleBits,
+		shadow: sig.NewPerfect(opts.Threads),
+	}, nil
+}
+
+// SampleBits returns the configured slice width k.
+func (m *Monitor) SampleBits() uint { return m.opts.SampleBits }
+
+// TargetFPR returns the configured target.
+func (m *Monitor) TargetFPR() float64 { return m.opts.TargetFPR }
+
+// SampleFraction is the sampled share of the granule space, 1/2^k.
+func (m *Monitor) SampleFraction() float64 {
+	return 1 / float64(uint64(1)<<m.opts.SampleBits)
+}
+
+// Sampled reports whether a granule belongs to the shadowed slice. The
+// selector is one add, one multiply and one shift — cheap enough to sit on
+// the detection hot path — and purely address-determined, so a granule is
+// either fully shadowed or fully skipped for the whole run. gaddr must
+// already be granularity-coarsened (the same contract as redundancy.Cache).
+// For SampleBits 0 the shift is 64, which Go defines to yield 0: every
+// granule is sampled.
+func (m *Monitor) Sampled(gaddr uint64) bool {
+	return ((gaddr+m.opts.Seed)*sampleMix)>>m.shift == 0
+}
+
+// ObserveWrite mirrors a production write into the shadow when its granule
+// is sampled. Call it exactly when the production backend's ObserveWrite
+// runs (after any redundancy skip).
+func (m *Monitor) ObserveWrite(gaddr uint64, tid int32) {
+	if !m.Sampled(gaddr) {
+		return
+	}
+	m.sampledWrites.Add(1)
+	if p := m.opts.Probes; p != nil {
+		p.Sampled.Inc()
+	}
+	m.shadow.ObserveWrite(gaddr, tid)
+}
+
+// ObserveRead pairs one production read verdict with the exact shadow
+// verdict when the granule is sampled. prodEvent is the production
+// detector's final communicating-access decision for this read (after the
+// stale-writer drop) and prodWriter its attributed writer. Call it exactly
+// when the production backend's ObserveRead ran, whatever the verdict.
+func (m *Monitor) ObserveRead(gaddr uint64, tid int32, prodEvent bool, prodWriter int32) {
+	if !m.Sampled(gaddr) {
+		return
+	}
+	m.sampledReads.Add(1)
+	if p := m.opts.Probes; p != nil {
+		p.Sampled.Inc()
+	}
+	writer, first := m.shadow.ObserveRead(gaddr, tid)
+	exact := writer != sig.NoWriter && writer != tid && first
+	switch {
+	case prodEvent && exact && writer == prodWriter:
+		m.confirmed.Add(1)
+		m.sigEvents.Add(1)
+		if p := m.opts.Probes; p != nil {
+			p.Confirmed.Inc()
+		}
+	case prodEvent:
+		// The bounded signature reported a dependence the exact shadow
+		// rejects (or attributes to a different writer): a collision-made
+		// false positive, the quantity the paper's §V-A3 sweep measures.
+		m.falsePos.Add(1)
+		m.sigEvents.Add(1)
+		if p := m.opts.Probes; p != nil {
+			p.FalsePositives.Inc()
+		}
+	case exact:
+		// The exact shadow sees a dependence the signature missed — a
+		// false negative, possible when a per-slot bloom filter wrongly
+		// answers "already read" or a write-slot collision masks the true
+		// writer with the reader's own ID.
+		m.missed.Add(1)
+		if p := m.opts.Probes; p != nil {
+			p.MissedEvents.Inc()
+		}
+	}
+}
+
+// Stats is the monitor's raw paired-verdict counters. Per-shard monitor
+// stats merge by summation: shard routing and granule sampling slice the
+// same address space along independent hashes, so each sampled granule's
+// verdicts live wholly in one shard's counters.
+type Stats struct {
+	// SampledAccesses is the number of accesses that reached the shadow
+	// (reads + writes in the sampled slice, after redundancy skips).
+	SampledAccesses uint64
+	// SampledReads / SampledWrites split SampledAccesses by kind.
+	SampledReads, SampledWrites uint64
+	// SampledGranules is the number of distinct granules the shadow tracks.
+	SampledGranules uint64
+	// SigEvents counts production communicating-access verdicts in the
+	// slice (the estimator's trial count).
+	SigEvents uint64
+	// Confirmed counts signature events the exact shadow agrees with,
+	// writer included.
+	Confirmed uint64
+	// FalsePositives counts signature events the shadow rejects or
+	// re-attributes.
+	FalsePositives uint64
+	// MissedEvents counts exact dependencies the signature failed to
+	// report (signature false negatives).
+	MissedEvents uint64
+}
+
+// Add merges another snapshot into s.
+func (s Stats) Add(o Stats) Stats {
+	s.SampledAccesses += o.SampledAccesses
+	s.SampledReads += o.SampledReads
+	s.SampledWrites += o.SampledWrites
+	s.SampledGranules += o.SampledGranules
+	s.SigEvents += o.SigEvents
+	s.Confirmed += o.Confirmed
+	s.FalsePositives += o.FalsePositives
+	s.MissedEvents += o.MissedEvents
+	return s
+}
+
+// Stats snapshots the counters; safe while the owner is monitoring.
+func (m *Monitor) Stats() Stats {
+	r, w := m.sampledReads.Load(), m.sampledWrites.Load()
+	return Stats{
+		SampledAccesses: r + w,
+		SampledReads:    r,
+		SampledWrites:   w,
+		SampledGranules: uint64(m.shadow.Entries()),
+		SigEvents:       m.sigEvents.Load(),
+		Confirmed:       m.confirmed.Load(),
+		FalsePositives:  m.falsePos.Load(),
+		MissedEvents:    m.missed.Load(),
+	}
+}
+
+// ShadowFootprintBytes reports the memory the exact shadow holds — the
+// unbounded quantity SampleBits exists to shrink.
+func (m *Monitor) ShadowFootprintBytes() uint64 { return m.shadow.FootprintBytes() }
+
+// Estimate is the derived accuracy estimate: the FPR point estimate over
+// the sampled slice with its 95% Wilson interval, plus the working-set
+// extrapolation the advisor uses.
+type Estimate struct {
+	Stats
+	// SampleBits / SampleFraction describe the slice the stats came from.
+	SampleBits     uint
+	SampleFraction float64
+	// EstimatedFPR is FalsePositives / SigEvents — at SampleBits 0 it is
+	// exactly the offline exact-diff FPR of experiments.FPRSweep.
+	EstimatedFPR float64
+	// FPRLow / FPRHigh bound EstimatedFPR with a 95% Wilson score
+	// interval; [0,1] when the slice saw no signature events.
+	FPRLow, FPRHigh float64
+	// TargetFPR echoes the configured target.
+	TargetFPR float64
+	// EstimatedWorkingSet extrapolates the run's distinct-granule count
+	// from the sampled slice: SampledGranules * 2^SampleBits. The hash
+	// selector makes the slice an unbiased 1/2^k sample of the granules
+	// actually touched.
+	EstimatedWorkingSet uint64
+}
+
+// EstimateFrom derives the estimate for a stats snapshot taken from a
+// monitor (or a merge of per-shard monitors) configured with the given
+// slice width and target.
+func EstimateFrom(st Stats, sampleBits uint, targetFPR float64) Estimate {
+	est := Estimate{
+		Stats:               st,
+		SampleBits:          sampleBits,
+		SampleFraction:      1 / float64(uint64(1)<<sampleBits),
+		TargetFPR:           targetFPR,
+		EstimatedWorkingSet: st.SampledGranules << sampleBits,
+	}
+	if st.SigEvents > 0 {
+		est.EstimatedFPR = float64(st.FalsePositives) / float64(st.SigEvents)
+	}
+	est.FPRLow, est.FPRHigh = Wilson(st.FalsePositives, st.SigEvents, 1.96)
+	return est
+}
+
+// Estimate derives the monitor's current estimate.
+func (m *Monitor) Estimate() Estimate {
+	return EstimateFrom(m.Stats(), m.opts.SampleBits, m.opts.TargetFPR)
+}
+
+// Wilson returns the Wilson score interval for successes out of trials at
+// critical value z (1.96 ≈ 95%). Unlike the normal approximation it stays
+// inside [0,1] and behaves at the small trial counts a thin sample slice
+// produces. Returns the uninformative [0,1] when trials is 0.
+func Wilson(successes, trials uint64, z float64) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	den := 1 + z2/n
+	center := (p + z2/(2*n)) / den
+	half := z / den * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	return math.Max(0, center-half), math.Min(1, center+half)
+}
+
+// Recommendation is the Eq. 2 advisor's output: the signature size that
+// would bring the measured FPR down to the target, and its memory price.
+type Recommendation struct {
+	// CurrentSlots / CurrentBytes describe the run's configuration
+	// (CurrentBytes via Eq. 2, i.e. every slot's filter allocated).
+	CurrentSlots, CurrentBytes uint64
+	// RecommendedSlots is the advised signature size: CurrentSlots scaled
+	// by measured/target FPR and rounded up to a power of two (signature
+	// collision probability at small load factors is linear in
+	// working-set/slots, so FPR scales ≈ 1/slots). Equal to CurrentSlots
+	// when the run already meets the target or saw no events.
+	RecommendedSlots uint64
+	// RecommendedBytes prices RecommendedSlots with Eq. 2.
+	RecommendedBytes uint64
+}
+
+// maxRecommendSlots caps the advisor at 2^40 slots (Eq. 2 already prices
+// that beyond any machine; the cap keeps the power-of-two rounding from
+// overflowing on degenerate estimates).
+const maxRecommendSlots = uint64(1) << 40
+
+// Recommend sizes a signature for est.TargetFPR given the run's current
+// configuration.
+func Recommend(est Estimate, currentSlots uint64, threads int, bloomFPRate float64) Recommendation {
+	rec := Recommendation{
+		CurrentSlots:     currentSlots,
+		CurrentBytes:     sig.SigMem(currentSlots, threads, bloomFPRate),
+		RecommendedSlots: currentSlots,
+	}
+	if est.SigEvents > 0 && est.TargetFPR > 0 && est.EstimatedFPR > est.TargetFPR {
+		scaled := float64(currentSlots) * est.EstimatedFPR / est.TargetFPR
+		want := uint64(1)
+		for want < maxRecommendSlots && float64(want) < scaled {
+			want <<= 1
+		}
+		rec.RecommendedSlots = want
+	}
+	rec.RecommendedBytes = sig.SigMem(rec.RecommendedSlots, threads, bloomFPRate)
+	return rec
+}
+
+// Recommend sizes a signature for the monitor's target from its current
+// estimate.
+func (m *Monitor) Recommend(currentSlots uint64, threads int, bloomFPRate float64) Recommendation {
+	return Recommend(m.Estimate(), currentSlots, threads, bloomFPRate)
+}
+
+// Evaluate runs the alarm conditions against the current estimate and the
+// production signature's bloom fill ratio. Telemetry's fill-ratio ticker
+// calls it periodically during a run; report building calls it once at the
+// end, so the alarm works without telemetry too.
+func (m *Monitor) Evaluate(fillRatio float64) {
+	m.alarm.Evaluate(m.Estimate(), fillRatio)
+}
+
+// Alarm returns the latched warn-once message, if any.
+func (m *Monitor) Alarm() (string, bool) { return m.alarm.Message() }
+
+// Alarm is a warn-once saturation latch. The zero value is ready; Evaluate
+// may be called from any goroutine (the telemetry ticker races report
+// building) and the first condition to trip wins permanently.
+type Alarm struct {
+	fired atomic.Bool
+	msg   atomic.Value // string
+}
+
+// Evaluate latches an alarm when the estimate's Wilson lower bound exceeds
+// the target (the FPR is above target with ~97.5% one-sided confidence —
+// using the lower bound instead of the point estimate keeps a handful of
+// early false positives from tripping a run-long warning) or when the
+// bloom fill ratio shows second-level saturation.
+func (a *Alarm) Evaluate(est Estimate, fillRatio float64) {
+	if a.fired.Load() {
+		return
+	}
+	var msg string
+	switch {
+	case est.TargetFPR > 0 && est.FPRLow > est.TargetFPR:
+		msg = fmt.Sprintf(
+			"estimated signature FPR %.1f%% (95%% CI lower bound %.1f%%) exceeds target %.1f%%: signature is saturating, consider more slots",
+			100*est.EstimatedFPR, 100*est.FPRLow, 100*est.TargetFPR)
+	case fillRatio > FillAlarmRatio:
+		msg = fmt.Sprintf(
+			"bloom fill ratio %.2f exceeds %.2f: read-signature filters are saturating, consider more slots",
+			fillRatio, FillAlarmRatio)
+	default:
+		return
+	}
+	if a.fired.CompareAndSwap(false, true) {
+		a.msg.Store(msg)
+	}
+}
+
+// Message returns the latched message, if any.
+func (a *Alarm) Message() (string, bool) {
+	if !a.fired.Load() {
+		return "", false
+	}
+	s, _ := a.msg.Load().(string)
+	return s, s != ""
+}

@@ -1,0 +1,124 @@
+// Monitor overhead benchmarks: the detection hot loop with the accuracy
+// monitor off and at sample slices 1/64, 1/8 and 1/1. scripts/bench.sh's
+// accuracy mode drives these with BENCH_APP / BENCH_SIZE (defaults: radix
+// simdev) and compares ns/access against the monitor-off baseline; the
+// acceptance bar is ≤5% overhead at 1/64 sampling on simlarge.
+//
+// External test package: internal/detect imports internal/accuracy, so a
+// benchmark that drives a real Detector must live outside package accuracy.
+package accuracy_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"commprof/internal/accuracy"
+	"commprof/internal/detect"
+	"commprof/internal/exec"
+	"commprof/internal/sig"
+	"commprof/internal/splash"
+	"commprof/internal/trace"
+)
+
+var monBenchFixture struct {
+	once   sync.Once
+	stream []trace.Access
+	table  *trace.Table
+	err    error
+}
+
+const monBenchThreads = 32
+const monBenchSlots = 1 << 20
+
+func monBenchStream(b *testing.B) ([]trace.Access, *trace.Table) {
+	monBenchFixture.once.Do(func() {
+		app := os.Getenv("BENCH_APP")
+		if app == "" {
+			app = "radix"
+		}
+		sizeName := os.Getenv("BENCH_SIZE")
+		if sizeName == "" {
+			sizeName = "simdev"
+		}
+		size, err := splash.ParseSize(sizeName)
+		if err != nil {
+			monBenchFixture.err = err
+			return
+		}
+		prog, err := splash.New(app, splash.Config{Threads: monBenchThreads, Size: size, Seed: 42})
+		if err != nil {
+			monBenchFixture.err = err
+			return
+		}
+		eng := exec.New(exec.Options{Threads: monBenchThreads, Probe: func(a trace.Access) {
+			monBenchFixture.stream = append(monBenchFixture.stream, a)
+		}})
+		if _, err := prog.Run(eng); err != nil {
+			monBenchFixture.err = err
+			return
+		}
+		monBenchFixture.table = prog.Table()
+	})
+	if monBenchFixture.err != nil {
+		b.Fatal(monBenchFixture.err)
+	}
+	return monBenchFixture.stream, monBenchFixture.table
+}
+
+// benchMonitored runs the detection loop with an accuracy monitor at the
+// given slice width; bits < 0 disables the monitor (the baseline).
+func benchMonitored(b *testing.B, bits int) {
+	stream, table := monBenchStream(b)
+	b.ReportAllocs()
+	var last *detect.Detector
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		backend, err := sig.NewAsymmetric(sig.Options{Slots: monBenchSlots, Threads: monBenchThreads, FPRate: 0.001})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dopts := detect.Options{Threads: monBenchThreads, Backend: backend, Table: table}
+		if bits >= 0 {
+			mon, err := accuracy.New(accuracy.Options{
+				Threads: monBenchThreads, SampleBits: uint(bits), TargetFPR: accuracy.DefaultTargetFPR,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dopts.Accuracy = mon
+		}
+		d, err := detect.New(dopts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = d
+		b.StartTimer()
+		d.ProcessStream(stream)
+	}
+	if s := b.Elapsed().Nanoseconds(); s > 0 && len(stream) > 0 {
+		b.ReportMetric(float64(s)/float64(len(stream)*b.N), "ns/access")
+	}
+	if mon := last.Accuracy(); mon != nil {
+		st := mon.Stats()
+		if len(stream) > 0 {
+			b.ReportMetric(float64(st.SampledAccesses)/float64(len(stream)), "sampled_frac")
+		}
+		b.ReportMetric(float64(mon.ShadowFootprintBytes()), "shadow_bytes")
+	}
+}
+
+// BenchmarkProcessMonitorOff is the unmonitored baseline hot loop.
+func BenchmarkProcessMonitorOff(b *testing.B) { benchMonitored(b, -1) }
+
+// BenchmarkProcessMonitor64th shadows 1/64 of the granule space — the
+// recommended production setting (acceptance: ≤5% over the baseline).
+func BenchmarkProcessMonitor64th(b *testing.B) { benchMonitored(b, 6) }
+
+// BenchmarkProcessMonitor8th shadows 1/8 of the granule space.
+func BenchmarkProcessMonitor8th(b *testing.B) { benchMonitored(b, 3) }
+
+// BenchmarkProcessMonitorFull shadows every granule (the exact-diff
+// configuration; the shadow is as large as the working set).
+func BenchmarkProcessMonitorFull(b *testing.B) { benchMonitored(b, 0) }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"commprof/internal/accuracy"
 	"commprof/internal/comm"
 	"commprof/internal/exec"
 	"commprof/internal/obs"
@@ -72,6 +73,13 @@ type Options struct {
 	// Filtered accesses still count toward Stats.Processed and the
 	// per-region access counters; only the backend consultation is skipped.
 	RedundancyCacheBits uint
+	// Accuracy, when non-nil, pairs every production verdict with an exact
+	// shadow verdict over the monitor's sampled granule slice, producing a
+	// live signature-FPR estimate (see internal/accuracy). The monitor sits
+	// behind the redundancy fast path — skipped accesses reach neither the
+	// backend nor the shadow, which keeps verdict pairs aligned. Like the
+	// redundancy cache, a monitor belongs to exactly one Process goroutine.
+	Accuracy *accuracy.Monitor
 	// Probes, when non-nil, receives self-observability telemetry (event
 	// counts and sizes, stale-writer drops). Nil keeps the hot path
 	// uninstrumented at the cost of one nil check per hook site.
@@ -146,18 +154,26 @@ func (d *Detector) Process(a trace.Access) (Event, bool) {
 	}
 	if a.Kind == trace.Write {
 		d.opts.Backend.ObserveWrite(gaddr, a.Thread)
+		if m := d.opts.Accuracy; m != nil {
+			m.ObserveWrite(gaddr, a.Thread)
+		}
 		return Event{}, false
 	}
 	writer, first := d.opts.Backend.ObserveRead(gaddr, a.Thread)
-	if writer == sig.NoWriter || writer == a.Thread || !first {
-		return Event{}, false
-	}
-	if int(writer) >= d.opts.Threads {
+	ok := writer != sig.NoWriter && writer != a.Thread && first
+	if ok && int(writer) >= d.opts.Threads {
 		// A collision-corrupted slot can, in principle, surface a stale
 		// writer ID from a previous configuration; drop it defensively.
 		if p := d.opts.Probes; p != nil {
 			p.StaleWriterDrops.Inc()
 		}
+		ok = false
+	}
+	if m := d.opts.Accuracy; m != nil {
+		// The monitor pairs the post-drop verdict with the exact shadow's.
+		m.ObserveRead(gaddr, a.Thread, ok, writer)
+	}
+	if !ok {
 		return Event{}, false
 	}
 	ev := Event{Time: a.Time, Writer: writer, Reader: a.Thread, Bytes: a.Size, Region: a.Region}
@@ -278,3 +294,7 @@ func (d *Detector) RedundancyStats() (redundancy.Stats, bool) {
 	}
 	return d.redun.Stats(), true
 }
+
+// Accuracy returns the shadow-sampling accuracy monitor, or nil when the
+// detector runs unmonitored.
+func (d *Detector) Accuracy() *accuracy.Monitor { return d.opts.Accuracy }

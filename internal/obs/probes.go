@@ -61,6 +61,23 @@ type PipelineProbes struct {
 	PolicyTransitions *Counter
 }
 
+// AccuracyProbes instruments the shadow-sampling accuracy monitor
+// (internal/accuracy).
+type AccuracyProbes struct {
+	// Sampled counts accesses that reached the exact shadow (the monitor's
+	// hash-selected granule slice, after redundancy skips).
+	Sampled *Counter
+	// Confirmed counts production communicating-access verdicts the exact
+	// shadow agreed with, writer attribution included.
+	Confirmed *Counter
+	// FalsePositives counts production verdicts the shadow rejected or
+	// re-attributed — the numerator of the live FPR estimate.
+	FalsePositives *Counter
+	// MissedEvents counts exact dependencies the bounded signature failed
+	// to report (signature false negatives).
+	MissedEvents *Counter
+}
+
 // TraceProbes instruments the incremental trace codec (internal/trace).
 type TraceProbes struct {
 	// DecodedRecords counts access records the streaming Decoder has decoded
@@ -86,6 +103,7 @@ type Probes struct {
 	Engine   *EngineProbes
 	Pipeline *PipelineProbes
 	Trace    *TraceProbes
+	Accuracy *AccuracyProbes
 }
 
 // DefaultProbes wires a full probe set into r under the standard metric
@@ -122,6 +140,12 @@ func DefaultProbes(r *Registry) *Probes {
 		},
 		Trace: &TraceProbes{
 			DecodedRecords: r.Counter("trace_decoded_records_total"),
+		},
+		Accuracy: &AccuracyProbes{
+			Sampled:        r.Counter("accuracy_sampled_total"),
+			Confirmed:      r.Counter("accuracy_confirmed_total"),
+			FalsePositives: r.Counter("accuracy_false_positives_total"),
+			MissedEvents:   r.Counter("accuracy_missed_events_total"),
 		},
 	}
 }
@@ -164,4 +188,12 @@ func (p *Probes) TraceProbes() *TraceProbes {
 		return nil
 	}
 	return p.Trace
+}
+
+// AccuracyProbes returns the accuracy-monitor bundle; nil-safe.
+func (p *Probes) AccuracyProbes() *AccuracyProbes {
+	if p == nil {
+		return nil
+	}
+	return p.Accuracy
 }

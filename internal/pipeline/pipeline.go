@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"commprof/internal/accuracy"
 	"commprof/internal/comm"
 	"commprof/internal/detect"
 	"commprof/internal/exec"
@@ -130,6 +131,14 @@ type Options struct {
 	// Use AsymmetricFactory to split one slot budget across shards, or
 	// PerfectFactory for exact ground-truth analysis.
 	NewBackend func(shard int) (sig.Backend, error)
+	// Accuracy, when non-nil, gives every shard worker a private
+	// shadow-sampling accuracy monitor (see internal/accuracy) built from
+	// these options; Engine.AccuracyStats merges them. Per-shard privacy is
+	// sound for the same reason the redundancy caches are: address routing
+	// sends a sampled granule's whole history through one worker, so each
+	// monitor's verdict pairs stay aligned, and the sample slice and shard
+	// partition are independent hashes of the same coarsened address.
+	Accuracy *accuracy.Options
 	// OnEvent, when non-nil, receives every detected dependence. Shard
 	// workers call it concurrently; it must be safe for concurrent use.
 	OnEvent func(detect.Event)
@@ -324,6 +333,12 @@ type Engine struct {
 	gate    *detect.Gate
 	dropped atomic.Uint64
 
+	// monitors holds each shard's private accuracy monitor (empty when
+	// Options.Accuracy is nil); accAlarm is the engine-level warn-once latch
+	// evaluated against the merged estimate.
+	monitors []*accuracy.Monitor
+	accAlarm accuracy.Alarm
+
 	// PolicyAuto state: degraded mirrors the current mode, transitions counts
 	// mode switches in both directions, and the mutex guards the stall-rate
 	// sampling window (touched only on the already-slow stall path).
@@ -369,10 +384,19 @@ func New(opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: shard %d backend: %w", i, err)
 		}
+		var mon *accuracy.Monitor
+		if opts.Accuracy != nil {
+			mon, err = accuracy.New(*opts.Accuracy)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: shard %d: %w", i, err)
+			}
+			e.monitors = append(e.monitors, mon)
+		}
 		d, err := detect.New(detect.Options{
 			Threads: opts.Threads, Backend: backend, Table: opts.Table,
 			GranularityBits: opts.GranularityBits, OnEvent: opts.OnEvent,
 			RedundancyCacheBits: opts.RedundancyCacheBits,
+			Accuracy:            mon,
 			Probes:              opts.DetectProbes,
 		})
 		if err != nil {
@@ -791,6 +815,71 @@ func (e *Engine) RedundancyStats() (redundancy.Stats, bool) {
 		}
 	}
 	return agg, on
+}
+
+// AccuracyStats merges every shard monitor's paired-verdict counters. The
+// second return is false when Options.Accuracy was nil. Safe while the run
+// is in flight (the snapshot is racy across shards, exact after Close).
+func (e *Engine) AccuracyStats() (accuracy.Stats, bool) {
+	if len(e.monitors) == 0 {
+		return accuracy.Stats{}, false
+	}
+	var agg accuracy.Stats
+	for _, m := range e.monitors {
+		agg = agg.Add(m.Stats())
+	}
+	return agg, true
+}
+
+// AccuracyEstimate derives the engine-wide FPR estimate from the merged
+// per-shard stats. The second return is false when Options.Accuracy was nil.
+func (e *Engine) AccuracyEstimate() (accuracy.Estimate, bool) {
+	st, ok := e.AccuracyStats()
+	if !ok {
+		return accuracy.Estimate{}, false
+	}
+	return accuracy.EstimateFrom(st, e.opts.Accuracy.SampleBits, e.opts.Accuracy.TargetFPR), true
+}
+
+// EvaluateAccuracy runs the engine's warn-once saturation alarm against the
+// merged estimate and the given production fill ratio (use FillRatio). A
+// no-op without monitors; safe from any goroutine.
+func (e *Engine) EvaluateAccuracy(fillRatio float64) {
+	if est, ok := e.AccuracyEstimate(); ok {
+		e.accAlarm.Evaluate(est, fillRatio)
+	}
+}
+
+// AccuracyAlarm returns the latched saturation message, if any.
+func (e *Engine) AccuracyAlarm() (string, bool) { return e.accAlarm.Message() }
+
+// AccuracyShadowBytes sums the memory held by every shard monitor's exact
+// shadow.
+func (e *Engine) AccuracyShadowBytes() uint64 {
+	var total uint64
+	for _, m := range e.monitors {
+		total += m.ShadowFootprintBytes()
+	}
+	return total
+}
+
+// FillRatio estimates the mean bloom fill ratio across shard signature
+// partitions that expose one (sig.Asymmetric does; exact backends return 0,
+// as does an engine with no sampling backends). sample bounds the per-shard
+// probe cost exactly as in Asymmetric.FillRatio.
+func (e *Engine) FillRatio(sample int) float64 {
+	var sum float64
+	n := 0
+	for _, s := range e.shards {
+		if f, ok := s.backend.(interface{ FillRatio(int) float64 }); ok {
+			sum += f.FillRatio(sample)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // SigFootprintBytes sums the live memory of every shard's signature

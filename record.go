@@ -29,17 +29,27 @@ func Record(opts Options, w io.Writer) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	tel := opts.Telemetry
+	probes := tel.probes()
 	backend, err := sig.NewAsymmetric(sig.Options{
 		Slots: opts.SignatureSlots, Threads: opts.Threads, FPRate: opts.BloomFPRate,
+		Probes: probes.SigProbes(),
 	})
 	if err != nil {
 		return nil, err
 	}
+	mon, err := newAccuracyMonitor(opts, opts.Threads, probes)
+	if err != nil {
+		return nil, err
+	}
 	// Recording always runs the deterministic engine (see below), so the
-	// single-consumer redundancy cache is safe here unconditionally.
+	// single-consumer redundancy cache and accuracy monitor are safe here
+	// unconditionally.
 	d, err := detect.New(detect.Options{
 		Threads: opts.Threads, Backend: backend, Table: prog.Table(),
 		RedundancyCacheBits: opts.RedundancyCacheBits,
+		Accuracy:            mon,
+		Probes:              probes.DetectProbes(),
 	})
 	if err != nil {
 		return nil, err
@@ -51,7 +61,11 @@ func Record(opts Options, w io.Writer) (*Report, error) {
 	}
 	// Recording requires the deterministic engine: a parallel run would
 	// append to the stream concurrently and lose the temporal order.
-	eng := exec.New(exec.Options{Threads: opts.Threads, Probe: probe})
+	eng := exec.New(exec.Options{
+		Threads: opts.Threads, Probe: probe,
+		Probes: probes.EngineProbes(),
+	})
+	tel.wireRun(eng, d, backend, nil)
 	stats, err := prog.Run(eng)
 	if err != nil {
 		return nil, err
@@ -59,8 +73,13 @@ func Record(opts Options, w io.Writer) (*Report, error) {
 	if err := stream.Encode(w); err != nil {
 		return nil, fmt.Errorf("commprof: write trace: %w", err)
 	}
-	rep, _, err := buildReport(opts.Workload, opts.Threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, nil)
-	return rep, err
+	rep, tree, err := buildReport(opts.Workload, opts.Threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, tel)
+	if err != nil {
+		return nil, err
+	}
+	attachAccuracy(rep, d, opts, opts.Threads, backend, tel)
+	tel.finishRun(rep, tree)
+	return rep, nil
 }
 
 // Replay runs the profiler offline over a trace previously written by
@@ -82,7 +101,8 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	probes := opts.Telemetry.probes()
+	tel := opts.Telemetry
+	probes := tel.probes()
 	dec.Probes = probes.TraceProbes()
 	var stats exec.Stats
 	count := func(a trace.Access) error {
@@ -104,6 +124,11 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Replay has no exec engine; the gauges and /progress bind to the
+		// pipeline engine's merged per-shard state, which stays valid after
+		// Close — a post-run scrape sees the final merged hit rates instead
+		// of unbound zeros.
+		tel.wireRunSharded(nil, pe)
 		producer := pe.NewProducer(false)
 		if err := dec.ForEach(func(a trace.Access) error {
 			if err := count(a); err != nil {
@@ -117,8 +142,13 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 		}
 		producer.Flush()
 		pe.Close()
-		rep, _, err := buildReportSharded("replay", threads, pe, stats, opts.MaxHotspots, nil)
-		return rep, err
+		rep, tree, err := buildReportSharded("replay", threads, pe, stats, opts.MaxHotspots, tel)
+		if err != nil {
+			return nil, err
+		}
+		attachAccuracySharded(rep, pe, opts, threads, tel)
+		tel.finishRun(rep, tree)
+		return rep, nil
 	}
 	backend, err := sig.NewAsymmetric(sig.Options{
 		Slots: opts.SignatureSlots, Threads: threads, FPRate: opts.BloomFPRate,
@@ -127,14 +157,21 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	mon, err := newAccuracyMonitor(opts, threads, probes)
+	if err != nil {
+		return nil, err
+	}
+	// The replay loop is the cache's and the monitor's single consumer.
 	d, err := detect.New(detect.Options{
 		Threads: threads, Backend: backend, Table: dec.Table(),
 		RedundancyCacheBits: opts.RedundancyCacheBits,
+		Accuracy:            mon,
 		Probes:              probes.DetectProbes(),
 	})
 	if err != nil {
 		return nil, err
 	}
+	tel.wireRun(nil, d, backend, nil)
 	if err := dec.ForEach(func(a trace.Access) error {
 		if err := count(a); err != nil {
 			return err
@@ -144,6 +181,11 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 	}); err != nil {
 		return nil, err
 	}
-	rep, _, err := buildReport("replay", threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, nil)
-	return rep, err
+	rep, tree, err := buildReport("replay", threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, tel)
+	if err != nil {
+		return nil, err
+	}
+	attachAccuracy(rep, d, opts, threads, backend, tel)
+	tel.finishRun(rep, tree)
+	return rep, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"commprof/internal/accuracy"
 	"commprof/internal/comm"
 	"commprof/internal/patterns"
 	"commprof/internal/redundancy"
@@ -170,6 +171,89 @@ func redundancyReport(st redundancy.Stats) *RedundancyReport {
 	}
 }
 
+// FillSample is one point of the signature-saturation trajectory: the mean
+// bloom fill ratio of the production read signature at a moment of the run.
+type FillSample struct {
+	// ElapsedSeconds is wall time since the run was wired.
+	ElapsedSeconds float64
+	// Ratio is the sampled mean bloom fill ratio at that moment.
+	Ratio float64
+}
+
+// AccuracyReport describes the online signature-accuracy monitor of a run
+// profiled with Options.AccuracyTargetFPR > 0: the live counterpart of the
+// paper's offline §V-A3 false-positive sweep. EstimatedFPR is the headline
+// number; at AccuracySampleBits 0 it equals the offline exact-diff FPR for
+// the same signature configuration.
+type AccuracyReport struct {
+	// SampleBits / SampleFraction describe the shadowed slice of the granule
+	// address space (1/2^SampleBits of all granules, whole granules only).
+	SampleBits     uint
+	SampleFraction float64
+	// TargetFPR is the acceptable false-positive rate the run was asked to
+	// watch for.
+	TargetFPR float64
+	// SampledAccesses counts accesses that reached the exact shadow;
+	// SampledGranules the distinct granules it tracked.
+	SampledAccesses uint64
+	SampledGranules uint64
+	// SigEvents counts production communicating-access verdicts inside the
+	// slice; Confirmed/FalsePositives split them by the shadow's judgement,
+	// and MissedEvents counts exact dependencies the signature never
+	// reported (false negatives).
+	SigEvents      uint64
+	Confirmed      uint64
+	FalsePositives uint64
+	MissedEvents   uint64
+	// EstimatedFPR is FalsePositives / SigEvents, bracketed by the 95%
+	// Wilson interval [FPRLow, FPRHigh].
+	EstimatedFPR    float64
+	FPRLow, FPRHigh float64
+	// EstimatedWorkingSet extrapolates the run's distinct-granule count from
+	// the sampled slice.
+	EstimatedWorkingSet uint64
+	// ShadowBytes is the memory the exact shadow held.
+	ShadowBytes uint64
+	// CurrentSlots/RecommendedSlots/RecommendedBytes are the Eq. 2 advisor:
+	// the signature size that would bring the measured FPR down to
+	// TargetFPR, priced with the paper's memory model.
+	CurrentSlots     uint64
+	RecommendedSlots uint64
+	RecommendedBytes uint64
+	// FillRatio is the production read signature's final mean bloom fill;
+	// FillTrajectory its sampled course over the run (present when the run
+	// had Options.Telemetry, which owns the periodic sampler).
+	FillRatio      float64
+	FillTrajectory []FillSample `json:",omitempty"`
+	// Alarm carries the warn-once saturation message, "" when none fired.
+	Alarm string `json:",omitempty"`
+}
+
+func accuracyReport(est accuracy.Estimate, rec accuracy.Recommendation, shadowBytes uint64, fill float64, traj []FillSample, alarm string) *AccuracyReport {
+	return &AccuracyReport{
+		SampleBits:          est.SampleBits,
+		SampleFraction:      est.SampleFraction,
+		TargetFPR:           est.TargetFPR,
+		SampledAccesses:     est.SampledAccesses,
+		SampledGranules:     est.SampledGranules,
+		SigEvents:           est.SigEvents,
+		Confirmed:           est.Confirmed,
+		FalsePositives:      est.FalsePositives,
+		MissedEvents:        est.MissedEvents,
+		EstimatedFPR:        est.EstimatedFPR,
+		FPRLow:              est.FPRLow,
+		FPRHigh:             est.FPRHigh,
+		EstimatedWorkingSet: est.EstimatedWorkingSet,
+		ShadowBytes:         shadowBytes,
+		CurrentSlots:        rec.CurrentSlots,
+		RecommendedSlots:    rec.RecommendedSlots,
+		RecommendedBytes:    rec.RecommendedBytes,
+		FillRatio:           fill,
+		FillTrajectory:      traj,
+		Alarm:               alarm,
+	}
+}
+
 // PhaseReport is one detected communication phase (§V-A4).
 type PhaseReport struct {
 	Start, End uint64 // logical-time interval
@@ -198,6 +282,10 @@ type Report struct {
 	// the run used Options.RedundancyCacheBits (and, for the serial
 	// analyser, ran under the deterministic scheduler).
 	Redundancy *RedundancyReport `json:",omitempty"`
+	// Accuracy is the online signature-accuracy estimate. Nil unless the run
+	// used Options.AccuracyTargetFPR (and, for the serial analyser, ran
+	// under the deterministic scheduler).
+	Accuracy *AccuracyReport `json:",omitempty"`
 	// Telemetry is the self-observability snapshot of the run (metric
 	// counters/gauges/histograms plus pipeline-phase spans). Nil unless
 	// Options.Telemetry was set.
@@ -222,6 +310,15 @@ func (r *Report) Summary() string {
 	if rd := r.Redundancy; rd != nil {
 		fmt.Fprintf(&b, "redundancy fast path: 2^%d entries, %.1f%% of accesses skipped (%d hits, %d misses, %d evictions)\n",
 			rd.CacheBits, 100*rd.HitRate, rd.Hits, rd.Misses, rd.Evictions)
+	}
+	if a := r.Accuracy; a != nil {
+		fmt.Fprintf(&b, "accuracy monitor: 1/%d of granules shadowed (%d accesses, %d sig events), estimated FPR %.2f%% (95%% CI %.2f–%.2f%%), target %.2f%%, recommended slots %d (%.1f KB)\n",
+			uint64(1)<<a.SampleBits, a.SampledAccesses, a.SigEvents,
+			100*a.EstimatedFPR, 100*a.FPRLow, 100*a.FPRHigh, 100*a.TargetFPR,
+			a.RecommendedSlots, float64(a.RecommendedBytes)/1024)
+		if a.Alarm != "" {
+			fmt.Fprintf(&b, "ACCURACY ALARM: %s\n", a.Alarm)
+		}
 	}
 	b.WriteByte('\n')
 	b.WriteString("region tree:\n")

@@ -17,9 +17,16 @@
 #              BENCH_hotpath.json with ns/access, cache hit rate and the
 #              filtered-vs-unfiltered speedup per workload.
 #
+#   accuracy   Accuracy-monitor overhead on the detection hot loop. Runs the
+#              ProcessMonitor benchmarks in internal/accuracy (monitor off,
+#              then shadow slices 1/64, 1/8 and 1/1) over the BENCH_APPS
+#              workloads and writes BENCH_accuracy.json with ns/access and
+#              the overhead over the monitor-off baseline per slice. The
+#              budget: 1/64 sampling should cost at most ~5% per access.
+#
 # Configure with:
 #   BENCH_APP    pipeline-mode workload          (default radix)
-#   BENCH_APPS   hotpath-mode workload list      (default "radix fft")
+#   BENCH_APPS   hotpath/accuracy workload list  (default "radix fft" / "fft radix")
 #   BENCH_SIZE   input size                      (default simlarge)
 #   BENCH_TIME   go test -benchtime              (default 3x)
 #   BENCH_REDUN_BITS  hotpath cache bits         (default 14)
@@ -114,11 +121,61 @@ bench_hotpath() {
 	cat "$out"
 }
 
+bench_accuracy() {
+	apps="${BENCH_APPS:-fft radix}"
+	out="BENCH_accuracy.json"
+	tmp=$(mktemp)
+	trap 'rm -f "$tmp"' EXIT
+
+	for app in $apps; do
+		echo "== bench accuracy: $app/$size (benchtime $benchtime) =="
+		raw=$(BENCH_APP="$app" BENCH_SIZE="$size" \
+			go test -run '^$' -bench 'ProcessMonitor(Off|64th|8th|Full)' \
+			-benchtime "$benchtime" ./internal/accuracy/)
+		echo "$raw"
+		echo "$raw" | awk -v app="$app" '
+		/^BenchmarkProcessMonitor/ {
+			ns = ""; frac = ""; shadow = ""
+			for (i = 2; i < NF; i++) {
+				if ($(i + 1) == "ns/access") ns = $i
+				if ($(i + 1) == "sampled_frac") frac = $i
+				if ($(i + 1) == "shadow_bytes") shadow = $i
+			}
+			if (ns == "") next
+			if ($1 ~ /Off/) { base = ns; next }
+			bits = -1
+			if ($1 ~ /64th/) bits = 6
+			else if ($1 ~ /8th/) bits = 3
+			else if ($1 ~ /Full/) bits = 0
+			rows[n++] = sprintf("%s %d %s %s %s", app, bits, ns, frac, shadow)
+		}
+		END {
+			if (base == "" || n == 0) exit 1
+			for (i = 0; i < n; i++) printf "%s %s\n", rows[i], base
+		}' >> "$tmp"
+	done
+
+	awk -v size="$size" '
+	{
+		rows[n++] = sprintf("    {\"workload\": \"%s\", \"sample_bits\": %d, \"ns_per_access\": %.1f, \"baseline_ns_per_access\": %.1f, \"overhead_pct\": %.2f, \"sampled_frac\": %.5f, \"shadow_bytes\": %.0f}",
+			$1, $2, $3, $6, 100 * ($3 - $6) / $6, $4, $5)
+	}
+	END {
+		printf "{\n  \"size\": \"%s\",\n  \"rows\": [\n", size
+		for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+		printf "  ]\n}\n"
+	}' "$tmp" > "$out"
+
+	echo "wrote $out"
+	cat "$out"
+}
+
 case "$mode" in
 pipeline) bench_pipeline ;;
 hotpath) bench_hotpath ;;
+accuracy) bench_accuracy ;;
 *)
-	echo "bench.sh: unknown mode '$mode' (want pipeline or hotpath)" >&2
+	echo "bench.sh: unknown mode '$mode' (want pipeline, hotpath or accuracy)" >&2
 	exit 2
 	;;
 esac

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"commprof/internal/accuracy"
 	"commprof/internal/comm"
 	"commprof/internal/detect"
 	"commprof/internal/exec"
@@ -71,10 +72,26 @@ func newPipeline(opts Options, threads int, table *trace.Table, probes *obs.Prob
 		BatchSize:           opts.ShardBatchSize,
 		Policy:              policy,
 		RedundancyCacheBits: opts.RedundancyCacheBits,
+		Accuracy:            opts.accuracyOptions(threads, probes),
 		NewBackend:          pipeline.AsymmetricFactory(opts.SignatureSlots, shards, threads, opts.BloomFPRate, probes.SigProbes()),
 		Probes:              probes.PipelineProbes(),
 		DetectProbes:        probes.DetectProbes(),
 	})
+}
+
+// attachAccuracySharded renders a closed pipeline engine's merged per-shard
+// accuracy monitors into Report.Accuracy; the sharded counterpart of
+// attachAccuracy. A no-op when the run was unmonitored.
+func attachAccuracySharded(rep *Report, pe *pipeline.Engine, opts Options, threads int, tel *Telemetry) {
+	est, ok := pe.AccuracyEstimate()
+	if !ok {
+		return
+	}
+	fill := pe.FillRatio(256)
+	pe.EvaluateAccuracy(fill)
+	rec := accuracy.Recommend(est, opts.SignatureSlots, threads, opts.BloomFPRate)
+	alarm, _ := pe.AccuracyAlarm()
+	rep.Accuracy = accuracyReport(est, rec, pe.AccuracyShadowBytes(), fill, tel.fillTrajectory(), alarm)
 }
 
 // sampledProbe composes read sampling in front of the pipeline: the same
@@ -158,6 +175,7 @@ func profileSharded(opts Options, prog splash.Program, tel *Telemetry, probes *o
 	if err != nil {
 		return nil, err
 	}
+	attachAccuracySharded(rep, pe, opts, opts.Threads, tel)
 	rep.SampleFraction = sampleFraction
 	tel.finishRun(rep, tree)
 	return rep, nil
@@ -233,10 +251,13 @@ func ProfileTraceParallel(accesses []Access, regions []Region, threads int, opts
 	if err := table.Validate(); err != nil {
 		return nil, fmt.Errorf("commprof: invalid region list: %w", err)
 	}
-	pe, err := newPipeline(opts, threads, table, nil)
+	tel := opts.Telemetry
+	probes := tel.probes()
+	pe, err := newPipeline(opts, threads, table, probes)
 	if err != nil {
 		return nil, err
 	}
+	tel.wireRunSharded(nil, pe)
 	var gate *detect.Gate
 	sampleFraction := 1.0
 	if opts.SamplePeriod > 0 {
@@ -277,10 +298,12 @@ func ProfileTraceParallel(accesses []Access, regions []Region, threads int, opts
 	}
 	producer.Flush()
 	pe.Close()
-	rep, _, err := buildReportSharded("trace", threads, pe, stats, opts.MaxHotspots, nil)
+	rep, tree, err := buildReportSharded("trace", threads, pe, stats, opts.MaxHotspots, tel)
 	if err != nil {
 		return nil, err
 	}
+	attachAccuracySharded(rep, pe, opts, threads, tel)
 	rep.SampleFraction = sampleFraction
+	tel.finishRun(rep, tree)
 	return rep, nil
 }

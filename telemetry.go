@@ -37,6 +37,111 @@ type Telemetry struct {
 
 	mu     sync.Mutex
 	server *obs.Server
+
+	// Fill-sampler state: the periodic goroutine that probes the production
+	// signature's bloom fill ratio during a run (see startFillSampler).
+	fillMu      sync.Mutex
+	fillSamples []FillSample
+	fillStop    chan struct{}
+	fillDone    chan struct{}
+}
+
+// fillSampleInterval is the signature-saturation probe cadence. FillRatio
+// samples a strided subset of filters, so a probe costs microseconds; 25ms
+// keeps even sub-second runs with a few trajectory points.
+const fillSampleInterval = 25 * time.Millisecond
+
+// maxFillSamples bounds the recorded trajectory; when the run outlives the
+// bound, the sampler decimates (drops every other point), trading temporal
+// resolution for a whole-run view at fixed memory.
+const maxFillSamples = 240
+
+// startFillSampler begins the periodic fill probe for one run: each tick
+// sets the sig_fill_ratio gauge, records a trajectory point, and (when eval
+// is non-nil) feeds the saturation alarm. Any previous run's sampler is
+// stopped and its trajectory discarded. Off when the Telemetry is nil.
+func (t *Telemetry) startFillSampler(start time.Time, fill func() float64, eval func(float64)) {
+	if t == nil || fill == nil {
+		return
+	}
+	t.stopFillSampler()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	t.fillMu.Lock()
+	t.fillSamples = nil
+	t.fillStop, t.fillDone = stop, done
+	t.fillMu.Unlock()
+	gauge := t.reg.Gauge("sig_fill_ratio")
+	probe := func() {
+		ratio := fill()
+		gauge.Set(ratio)
+		if eval != nil {
+			eval(ratio)
+		}
+		t.fillMu.Lock()
+		t.fillSamples = append(t.fillSamples, FillSample{
+			ElapsedSeconds: time.Since(start).Seconds(), Ratio: ratio,
+		})
+		if len(t.fillSamples) > maxFillSamples {
+			kept := t.fillSamples[:0]
+			for i, s := range t.fillSamples {
+				if i%2 == 0 {
+					kept = append(kept, s)
+				}
+			}
+			t.fillSamples = kept
+		}
+		t.fillMu.Unlock()
+	}
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(fillSampleInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				// One closing probe so even a sub-tick run records its final
+				// saturation point (and the alarm sees the final fill).
+				probe()
+				return
+			case <-tick.C:
+				probe()
+			}
+		}
+	}()
+}
+
+// stopFillSampler stops the periodic probe, waiting for the goroutine to
+// exit; the recorded trajectory stays readable until the next run starts.
+// Idempotent and nil-safe. finishRun and Close both call it, so an error
+// path that skips finishRun leaks nothing past the handle's Close.
+func (t *Telemetry) stopFillSampler() {
+	if t == nil {
+		return
+	}
+	t.fillMu.Lock()
+	stop, done := t.fillStop, t.fillDone
+	t.fillStop, t.fillDone = nil, nil
+	t.fillMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// fillTrajectory snapshots the recorded saturation trajectory.
+func (t *Telemetry) fillTrajectory() []FillSample {
+	if t == nil {
+		return nil
+	}
+	t.fillMu.Lock()
+	defer t.fillMu.Unlock()
+	if len(t.fillSamples) == 0 {
+		return nil
+	}
+	out := make([]FillSample, len(t.fillSamples))
+	copy(out, t.fillSamples)
+	return out
 }
 
 // NewTelemetry returns an empty telemetry handle.
@@ -87,6 +192,7 @@ func (t *Telemetry) Close() error {
 	if t == nil {
 		return nil
 	}
+	t.stopFillSampler()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.server == nil {
@@ -134,6 +240,20 @@ type ProgressSnapshot struct {
 	// RedundancyHitRate is the live fraction of accesses the redundancy
 	// fast path skipped (0 when the cache is off).
 	RedundancyHitRate float64 `json:"redundancy_hit_rate"`
+	// AccuracySampled counts accesses the shadow-sampling accuracy monitor
+	// has paired with exact verdicts (0 when the monitor is off).
+	AccuracySampled uint64 `json:"accuracy_sampled"`
+	// AccuracyEstimatedFPR is the live signature false-positive estimate,
+	// bracketed by its 95% Wilson interval (all 0/[0,1] before the sampled
+	// slice sees any signature events; absent semantics match the monitor).
+	AccuracyEstimatedFPR float64 `json:"accuracy_estimated_fpr"`
+	AccuracyFPRLow       float64 `json:"accuracy_fpr_low"`
+	AccuracyFPRHigh      float64 `json:"accuracy_fpr_high"`
+	// AccuracyAlarm is the warn-once saturation message, "" while healthy.
+	AccuracyAlarm string `json:"accuracy_alarm,omitempty"`
+	// FillTrajectory is the sampled course of the signature's bloom fill
+	// ratio over the run so far (the periodic sig_fill_ratio probe).
+	FillTrajectory []FillSample `json:"fill_trajectory,omitempty"`
 }
 
 // Progress returns a point-in-time snapshot of the current (or last) run.
@@ -202,17 +322,21 @@ func (t *Telemetry) span(name string) *obs.SpanHandle {
 
 // wireRun binds the live-introspection sources (gauge functions and the
 // /progress snapshot) to one run's engine, detector and signature backend.
-// smp may be nil. Call after the engine exists and before it runs.
+// smp may be nil, and so may eng: offline replay has no simulated-thread
+// engine, so the executor gauges stay unbound and the logical clock reads 0.
+// Call after the detector exists and before the run starts.
 func (t *Telemetry) wireRun(eng *exec.Engine, d *detect.Detector, backend *sig.Asymmetric, smp *detect.Sampler) {
 	if t == nil {
 		return
 	}
 	start := time.Now()
 	t.start.Store(start)
-	t.tracer.SetClock(eng.Clock)
 	reg := t.reg
-	reg.GaugeFunc("exec_logical_clock", func() float64 { return float64(eng.Clock()) })
-	reg.GaugeFunc("exec_barrier_epochs", func() float64 { return float64(eng.BarrierEpochs()) })
+	if eng != nil {
+		t.tracer.SetClock(eng.Clock)
+		reg.GaugeFunc("exec_logical_clock", func() float64 { return float64(eng.Clock()) })
+		reg.GaugeFunc("exec_barrier_epochs", func() float64 { return float64(eng.BarrierEpochs()) })
+	}
 	reg.GaugeFunc("detect_accesses_processed", func() float64 { return float64(d.Stats().Processed) })
 	reg.GaugeFunc("detect_comm_bytes", func() float64 { return float64(d.Stats().CommBytes) })
 	reg.GaugeFunc("detect_accesses_per_sec", func() float64 {
@@ -234,6 +358,15 @@ func (t *Telemetry) wireRun(eng *exec.Engine, d *detect.Detector, backend *sig.A
 	if smp != nil {
 		reg.GaugeFunc("detect_sampler_skipped_reads", func() float64 { return float64(smp.Skipped()) })
 	}
+	mon := d.Accuracy()
+	if mon != nil {
+		reg.GaugeFunc("accuracy_estimated_fpr", func() float64 { return mon.Estimate().EstimatedFPR })
+	}
+	var eval func(float64)
+	if mon != nil {
+		eval = mon.Evaluate
+	}
+	t.startFillSampler(start, func() float64 { return backend.FillRatio(256) }, eval)
 	t.progress.Store(func() ProgressSnapshot {
 		st := d.Stats()
 		elapsed := time.Since(start).Seconds()
@@ -249,40 +382,58 @@ func (t *Telemetry) wireRun(eng *exec.Engine, d *detect.Detector, backend *sig.A
 		if rst, ok := d.RedundancyStats(); ok {
 			redunRate = rst.HitRate()
 		}
-		return ProgressSnapshot{
+		snap := ProgressSnapshot{
 			Phase:          t.tracer.Current(),
 			ElapsedSeconds: elapsed,
-			Clock:          eng.Clock(),
 			Accesses:       st.Processed,
 			AccessesPerSec: rate,
 			Dependencies:   st.Detected,
 			CommBytes:      st.CommBytes,
-			PerThread:      eng.ThreadProgress(),
-			BarrierEpochs:  eng.BarrierEpochs(),
 			SkippedReads:   skipped,
 			SigFilters:     backend.AllocatedFilters(),
 			SigOccupancy:   backend.Occupancy(),
 			SigFillRatio:   backend.FillRatio(64),
 
 			RedundancyHitRate: redunRate,
+			FillTrajectory:    t.fillTrajectory(),
 		}
+		if eng != nil {
+			snap.Clock = eng.Clock()
+			snap.PerThread = eng.ThreadProgress()
+			snap.BarrierEpochs = eng.BarrierEpochs()
+		}
+		if mon != nil {
+			est := mon.Estimate()
+			snap.AccuracySampled = est.SampledAccesses
+			snap.AccuracyEstimatedFPR = est.EstimatedFPR
+			snap.AccuracyFPRLow, snap.AccuracyFPRHigh = est.FPRLow, est.FPRHigh
+			snap.AccuracyAlarm, _ = mon.Alarm()
+		}
+		return snap
 	})
 }
 
 // wireRunSharded binds the live-introspection sources to a run analysed by
 // the sharded pipeline: aggregate throughput gauges plus one depth gauge per
-// shard (pipeline_shard_<i>_depth). The signature-saturation gauges stay
-// unbound — shard partitions expose only the aggregate footprint.
+// shard (pipeline_shard_<i>_depth). Per-slot saturation gauges stay unbound
+// (shard partitions expose only aggregates), but the mean bloom fill across
+// partitions feeds the periodic sig_fill_ratio sampler. eng may be nil for
+// offline replay; the gauges here read the pipeline engine's merged
+// per-shard state, which stays valid after Close, so a post-run scrape (or
+// the Report.Telemetry snapshot) sees the final merged values rather than
+// zeros.
 func (t *Telemetry) wireRunSharded(eng *exec.Engine, pe *pipeline.Engine) {
 	if t == nil {
 		return
 	}
 	start := time.Now()
 	t.start.Store(start)
-	t.tracer.SetClock(eng.Clock)
 	reg := t.reg
-	reg.GaugeFunc("exec_logical_clock", func() float64 { return float64(eng.Clock()) })
-	reg.GaugeFunc("exec_barrier_epochs", func() float64 { return float64(eng.BarrierEpochs()) })
+	if eng != nil {
+		t.tracer.SetClock(eng.Clock)
+		reg.GaugeFunc("exec_logical_clock", func() float64 { return float64(eng.Clock()) })
+		reg.GaugeFunc("exec_barrier_epochs", func() float64 { return float64(eng.BarrierEpochs()) })
+	}
 	reg.GaugeFunc("detect_accesses_processed", func() float64 { return float64(pe.Stats().Processed) })
 	reg.GaugeFunc("detect_comm_bytes", func() float64 { return float64(pe.Stats().CommBytes) })
 	reg.GaugeFunc("detect_accesses_per_sec", func() float64 {
@@ -306,6 +457,18 @@ func (t *Telemetry) wireRunSharded(eng *exec.Engine, pe *pipeline.Engine) {
 			return float64(pe.ShardDepth(i))
 		})
 	}
+	_, monitored := pe.AccuracyStats()
+	if monitored {
+		reg.GaugeFunc("accuracy_estimated_fpr", func() float64 {
+			est, _ := pe.AccuracyEstimate()
+			return est.EstimatedFPR
+		})
+	}
+	var eval func(float64)
+	if monitored {
+		eval = pe.EvaluateAccuracy
+	}
+	t.startFillSampler(start, func() float64 { return pe.FillRatio(256) }, eval)
 	t.progress.Store(func() ProgressSnapshot {
 		st := pe.Stats()
 		elapsed := time.Since(start).Seconds()
@@ -321,30 +484,42 @@ func (t *Telemetry) wireRunSharded(eng *exec.Engine, pe *pipeline.Engine) {
 		if rst, ok := pe.RedundancyStats(); ok {
 			redunRate = rst.HitRate()
 		}
-		return ProgressSnapshot{
+		snap := ProgressSnapshot{
 			Phase:          t.tracer.Current(),
 			ElapsedSeconds: elapsed,
-			Clock:          eng.Clock(),
 			Accesses:       st.Processed,
 			AccessesPerSec: rate,
 			Dependencies:   st.Detected,
 			CommBytes:      st.CommBytes,
-			PerThread:      eng.ThreadProgress(),
-			BarrierEpochs:  eng.BarrierEpochs(),
 			ShardDepths:    depths,
 			DroppedReads:   st.DroppedReads,
+			SigFillRatio:   pe.FillRatio(64),
 
 			RedundancyHitRate: redunRate,
+			FillTrajectory:    t.fillTrajectory(),
 		}
+		if eng != nil {
+			snap.Clock = eng.Clock()
+			snap.PerThread = eng.ThreadProgress()
+			snap.BarrierEpochs = eng.BarrierEpochs()
+		}
+		if est, ok := pe.AccuracyEstimate(); ok {
+			snap.AccuracySampled = est.SampledAccesses
+			snap.AccuracyEstimatedFPR = est.EstimatedFPR
+			snap.AccuracyFPRLow, snap.AccuracyFPRHigh = est.FPRLow, est.FPRHigh
+			snap.AccuracyAlarm, _ = pe.AccuracyAlarm()
+		}
+		return snap
 	})
 }
 
-// finishRun records end-of-run structure gauges and attaches the snapshot to
-// the report. tree may be nil (no region table).
+// finishRun stops the fill sampler, records end-of-run structure gauges and
+// attaches the snapshot to the report. tree may be nil (no region table).
 func (t *Telemetry) finishRun(rep *Report, tree *comm.Tree) {
 	if t == nil {
 		return
 	}
+	t.stopFillSampler()
 	if tree != nil {
 		t.reg.Gauge("comm_tree_nodes").Set(float64(tree.NodeCount()))
 		t.reg.Gauge("comm_matrix_nnz").Set(float64(tree.Global.NonZeroCells()))
