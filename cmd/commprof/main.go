@@ -9,6 +9,7 @@
 //	commprof -list
 //	commprof -app fft -heatmap -classify
 //	commprof -app ocean_cp -shards 8 -shard-policy degrade
+//	commprof -app fft -shards 4 -phases 5000 -telemetry-addr :9090
 //	commprof -app radix -record radix.trace
 //	commprof -replay radix.trace -threads 32
 package main
@@ -39,7 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 42, "workload random seed")
 		slots    = fs.Uint64("sig", 1<<20, "signature slots (n)")
 		fpRate   = fs.Float64("fpr", 0.001, "bloom-filter false-positive rate")
-		phases   = fs.Uint64("phases", 0, "phase-segmentation window in logical time units (0 = off)")
+		phases   = fs.Uint64("phases", 0, "phase window in logical time units: enables §V-A4 segmentation plus the classified pattern timeline, composes with -shards (0 = off)")
 		heatmap  = fs.Bool("heatmap", false, "print the global matrix heatmap")
 		csv      = fs.Bool("csv", false, "print the global matrix as CSV")
 		classify = fs.Bool("classify", false, "classify the global matrix's parallel pattern")

@@ -56,8 +56,15 @@ type Options struct {
 	// 0.001; an explicit 0 is not a valid rate (sig rejects rates outside
 	// (0,1)), so the sentinel loses no expressible configuration.
 	BloomFPRate float64
-	// PhaseWindow, when non-zero, enables phase segmentation with the given
-	// logical-time window length.
+	// PhaseWindow, when non-zero, enables windowed phase observability with
+	// the given logical-time window length: §V-A4 phase segmentation
+	// (Report.Phases), a classified pattern timeline with whole-program
+	// transitions and a per-hot-loop digest (Report.PhaseTimeline), and —
+	// with Options.Telemetry — live current-pattern gauges plus phase fields
+	// in /progress. Windows are bucketed by the global access index every
+	// access already carries, so the layer composes with AnalysisShards:
+	// shard partials merge by summation into exactly the window set the
+	// serial analyser builds.
 	PhaseWindow uint64
 	// Parallel runs threads as free goroutines instead of the deterministic
 	// round-robin scheduler. Results remain correct but are no longer
@@ -84,8 +91,9 @@ type Options struct {
 	// private partition of the signature slot budget, a bounded queue and a
 	// dedicated worker goroutine; shard matrices merge into the standard
 	// report at the end of the run. 0 (the default) keeps the paper's serial
-	// analysis. Incompatible with PhaseWindow, which needs globally ordered
-	// events.
+	// analysis. Composes with PhaseWindow: shard workers bucket events by
+	// the global access index and the per-shard window partials merge to the
+	// serial analyser's exact window set.
 	AnalysisShards int
 	// ShardQueueCapacity bounds each shard's queue in accesses when
 	// AnalysisShards is active (0 = the pipeline default of 8192).
@@ -266,8 +274,16 @@ func Profile(opts Options) (*Report, error) {
 			return nil, err
 		}
 	}
-	if opts.PhaseWindow > 0 && !opts.Parallel {
-		seg, err = metrics.NewPhaseSegmenter(opts.Threads, opts.PhaseWindow, 0.7)
+	ps, err := newPhaseState(opts, prog.Table(), tel, probes)
+	if err != nil {
+		return nil, err
+	}
+	if ps != nil {
+		// The windowed layer tolerates out-of-order events behind one mutex,
+		// so the segmenter runs under the parallel scheduler too (windows may
+		// then close before all their events land; the final report
+		// recomputes from the complete set).
+		seg, err = metrics.NewPhaseSegmenter(opts.Threads, opts.PhaseWindow, phaseThreshold)
 		if err != nil {
 			return nil, err
 		}
@@ -293,6 +309,10 @@ func Profile(opts Options) (*Report, error) {
 		Probes: probes.EngineProbes(),
 	})
 	tel.wireRun(eng, d, backend, smp)
+	if seg != nil {
+		onClose := ps.onClose()
+		ps.wire(func() int { return seg.Advance(onClose) })
+	}
 	setup.End()
 	run := tel.span("engine-run")
 	stats, err := prog.Run(eng)
@@ -307,11 +327,8 @@ func Profile(opts Options) (*Report, error) {
 	attachAccuracy(rep, d, opts, opts.Threads, backend, tel)
 	rep.SampleFraction = sampleFraction
 	if seg != nil {
-		for _, ph := range seg.Finish() {
-			rep.Phases = append(rep.Phases, PhaseReport{
-				Start: ph.Start, End: ph.End, Matrix: fromInternal(ph.Matrix),
-			})
-		}
+		seg.Flush(ps.onClose())
+		ps.attach(rep, seg.WindowSet())
 	}
 	tel.finishRun(rep, tree)
 	return rep, nil

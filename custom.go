@@ -6,6 +6,7 @@ import (
 
 	"commprof/internal/detect"
 	"commprof/internal/exec"
+	"commprof/internal/metrics"
 	"commprof/internal/sig"
 	"commprof/internal/trace"
 )
@@ -72,16 +73,33 @@ func ProfileTrace(accesses []Access, regions []Region, threads int, opts Options
 		return nil, err
 	}
 	// The replay loop below is the cache's and the monitor's single consumer.
-	d, err := detect.New(detect.Options{
+	dopts := detect.Options{
 		Threads: threads, Backend: backend, Table: table,
 		RedundancyCacheBits: opts.RedundancyCacheBits,
 		Accuracy:            mon,
 		Probes:              probes.DetectProbes(),
-	})
+	}
+	ps, err := newPhaseState(opts, table, tel, probes)
+	if err != nil {
+		return nil, err
+	}
+	var seg *metrics.PhaseSegmenter
+	if ps != nil {
+		seg, err = metrics.NewPhaseSegmenter(threads, opts.PhaseWindow, phaseThreshold)
+		if err != nil {
+			return nil, err
+		}
+		dopts.OnEvent = seg.Observe
+	}
+	d, err := detect.New(dopts)
 	if err != nil {
 		return nil, err
 	}
 	tel.wireRun(nil, d, backend, nil)
+	if seg != nil {
+		onClose := ps.onClose()
+		ps.wire(func() int { return seg.Advance(onClose) })
+	}
 	var stats exec.Stats
 	for i, a := range accesses {
 		if a.Thread < 0 || int(a.Thread) >= threads {
@@ -108,6 +126,10 @@ func ProfileTrace(accesses []Access, regions []Region, threads int, opts Options
 		return nil, err
 	}
 	attachAccuracy(rep, d, opts, threads, backend, tel)
+	if seg != nil {
+		seg.Flush(ps.onClose())
+		ps.attach(rep, seg.WindowSet())
+	}
 	tel.finishRun(rep, tree)
 	return rep, nil
 }

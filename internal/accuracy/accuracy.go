@@ -109,7 +109,48 @@ type Monitor struct {
 	falsePos      atomic.Uint64
 	missed        atomic.Uint64
 
+	// Cluster tallies for the granule-robust interval: per-granule signature
+	// event and false-positive counts (owner-only, like the shadow) plus the
+	// aggregate moments Σn², Σf² and Σnf maintained incrementally in atomics
+	// so a telemetry snapshot can read them mid-run. Signature false
+	// positives cluster by granule — one saturated filter poisons every
+	// verdict on its granule — so the Wilson interval's independent-trials
+	// assumption undercovers; the moments feed a cluster-robust variance
+	// (design-effect) correction (see EstimateFrom).
+	clusters      map[uint64]clusterTally
+	eventGranules atomic.Uint64
+	clusterEvSq   atomic.Uint64
+	clusterFPSq   atomic.Uint64
+	clusterEvFP   atomic.Uint64
+
 	alarm Alarm
+}
+
+// clusterTally is one sampled granule's signature-event history.
+type clusterTally struct {
+	ev, fp uint32
+}
+
+// clusterEvent folds one signature event (a false positive when fp) into the
+// per-granule tallies and the aggregate moments. With the granule's counts
+// going n→n+1 and f→f+d, the moments advance by Σn² += 2n+1,
+// Σf² += d·(2f+1) and Σnf += f + d·(n+1).
+func (m *Monitor) clusterEvent(gaddr uint64, fp bool) {
+	c := m.clusters[gaddr]
+	n, f := uint64(c.ev), uint64(c.fp)
+	if n == 0 {
+		m.eventGranules.Add(1)
+	}
+	m.clusterEvSq.Add(2*n + 1)
+	if fp {
+		m.clusterFPSq.Add(2*f + 1)
+		m.clusterEvFP.Add(f + n + 1)
+		c.fp++
+	} else {
+		m.clusterEvFP.Add(f)
+	}
+	c.ev++
+	m.clusters[gaddr] = c
 }
 
 // New builds a monitor.
@@ -124,9 +165,10 @@ func New(opts Options) (*Monitor, error) {
 		return nil, fmt.Errorf("accuracy: TargetFPR must be in (0,1), got %v", opts.TargetFPR)
 	}
 	return &Monitor{
-		opts:   opts,
-		shift:  64 - opts.SampleBits,
-		shadow: sig.NewPerfect(opts.Threads),
+		opts:     opts,
+		shift:    64 - opts.SampleBits,
+		shadow:   sig.NewPerfect(opts.Threads),
+		clusters: make(map[uint64]clusterTally),
 	}, nil
 }
 
@@ -185,6 +227,7 @@ func (m *Monitor) ObserveRead(gaddr uint64, tid int32, prodEvent bool, prodWrite
 	case prodEvent && exact && writer == prodWriter:
 		m.confirmed.Add(1)
 		m.sigEvents.Add(1)
+		m.clusterEvent(gaddr, false)
 		if p := m.opts.Probes; p != nil {
 			p.Confirmed.Inc()
 		}
@@ -194,6 +237,7 @@ func (m *Monitor) ObserveRead(gaddr uint64, tid int32, prodEvent bool, prodWrite
 		// false positive, the quantity the paper's §V-A3 sweep measures.
 		m.falsePos.Add(1)
 		m.sigEvents.Add(1)
+		m.clusterEvent(gaddr, true)
 		if p := m.opts.Probes; p != nil {
 			p.FalsePositives.Inc()
 		}
@@ -233,6 +277,15 @@ type Stats struct {
 	// MissedEvents counts exact dependencies the signature failed to
 	// report (signature false negatives).
 	MissedEvents uint64
+	// EventGranules counts distinct granules that produced at least one
+	// signature event: the cluster count k of the robust interval.
+	EventGranules uint64
+	// ClusterEvSq / ClusterFPSq / ClusterEvFP are the granule-level moments
+	// Σn², Σf² and Σn·f over per-granule event counts n and false-positive
+	// counts f. They merge by summation exactly like the scalar counters:
+	// shard routing is granule-disjoint, so no granule's tally is split
+	// across shards and cross terms never arise.
+	ClusterEvSq, ClusterFPSq, ClusterEvFP uint64
 }
 
 // Add merges another snapshot into s.
@@ -245,6 +298,10 @@ func (s Stats) Add(o Stats) Stats {
 	s.Confirmed += o.Confirmed
 	s.FalsePositives += o.FalsePositives
 	s.MissedEvents += o.MissedEvents
+	s.EventGranules += o.EventGranules
+	s.ClusterEvSq += o.ClusterEvSq
+	s.ClusterFPSq += o.ClusterFPSq
+	s.ClusterEvFP += o.ClusterEvFP
 	return s
 }
 
@@ -260,6 +317,10 @@ func (m *Monitor) Stats() Stats {
 		Confirmed:       m.confirmed.Load(),
 		FalsePositives:  m.falsePos.Load(),
 		MissedEvents:    m.missed.Load(),
+		EventGranules:   m.eventGranules.Load(),
+		ClusterEvSq:     m.clusterEvSq.Load(),
+		ClusterFPSq:     m.clusterFPSq.Load(),
+		ClusterEvFP:     m.clusterEvFP.Load(),
 	}
 }
 
@@ -281,6 +342,23 @@ type Estimate struct {
 	// FPRLow / FPRHigh bound EstimatedFPR with a 95% Wilson score
 	// interval; [0,1] when the slice saw no signature events.
 	FPRLow, FPRHigh float64
+	// DesignEffect is SigEvents / EffectiveSigEvents: how much granule-level
+	// clustering of false positives inflates the estimator's variance over
+	// the independent-trials assumption. 1 means verdicts are effectively
+	// independent; a saturated filter poisoning every verdict on its granule
+	// pushes it toward the mean events-per-granule.
+	DesignEffect float64
+	// EffectiveSigEvents is the cluster-robust effective trial count
+	// n_eff = p(1-p)/V_rob, the independent-trial count whose binomial
+	// variance matches the between-granule (CR1-corrected) variance of the
+	// observed verdicts. Clamped to [1, SigEvents]; equal to SigEvents when
+	// clustering is absent.
+	EffectiveSigEvents float64
+	// FPRLowClustered / FPRHighClustered bound EstimatedFPR with a Wilson
+	// interval at the effective trial count — the honest interval when false
+	// positives arrive in granule-level bursts. Always at least as wide as
+	// [FPRLow, FPRHigh].
+	FPRLowClustered, FPRHighClustered float64
 	// TargetFPR echoes the configured target.
 	TargetFPR float64
 	// EstimatedWorkingSet extrapolates the run's distinct-granule count
@@ -305,7 +383,55 @@ func EstimateFrom(st Stats, sampleBits uint, targetFPR float64) Estimate {
 		est.EstimatedFPR = float64(st.FalsePositives) / float64(st.SigEvents)
 	}
 	est.FPRLow, est.FPRHigh = Wilson(st.FalsePositives, st.SigEvents, 1.96)
+	est.EffectiveSigEvents = effectiveTrials(st)
+	if est.EffectiveSigEvents > 0 {
+		est.DesignEffect = float64(st.SigEvents) / est.EffectiveSigEvents
+	}
+	est.FPRLowClustered, est.FPRHighClustered = wilsonReal(
+		est.EstimatedFPR*est.EffectiveSigEvents, est.EffectiveSigEvents, 1.96)
 	return est
+}
+
+// effectiveTrials computes the cluster-robust effective trial count from the
+// granule moments. With per-granule event counts n_g (Σ n_g = n over k
+// granules) and false-positive counts f_g, the CR1 cluster-robust variance of
+// p̂ = Σf_g / n is
+//
+//	V_rob = k/(k-1) · Σ (f_g - p̂·n_g)² / n²
+//	      = k/(k-1) · (Σf² - 2p̂·Σnf + p̂²·Σn²) / n²
+//
+// which needs only the incrementally maintained moments. The effective trial
+// count is then n_eff = p̂(1-p̂)/V_rob — the independent-Bernoulli count with
+// the same variance. Degenerate p̂ (all or none false positives) makes both
+// numerator and V_rob vanish; there the worst case is full within-granule
+// correlation (every granule one Bernoulli trial, size-weighted), giving
+// n_eff = n²·(k-1)/(k·Σn²) — ≈k-1 for equal cluster sizes and ≈n when every
+// granule saw one event. The result is clamped to [1, n]: clustering can only
+// lose information, and one event is always one trial.
+func effectiveTrials(st Stats) float64 {
+	n := float64(st.SigEvents)
+	if st.SigEvents == 0 {
+		return 0
+	}
+	k := float64(st.EventGranules)
+	if st.EventGranules <= 1 {
+		// A single cluster carries no between-granule information; treat the
+		// whole slice as one trial.
+		return 1
+	}
+	p := float64(st.FalsePositives) / n
+	neff := n
+	if pq := p * (1 - p); pq > 0 {
+		vrob := k / (k - 1) * (float64(st.ClusterFPSq) - 2*p*float64(st.ClusterEvFP) + p*p*float64(st.ClusterEvSq)) / (n * n)
+		if vrob > 0 {
+			neff = pq / vrob
+		}
+	} else {
+		// p̂ of exactly 0 or 1 leaves the robust variance undefined; assume
+		// worst-case correlation ρ=1 so the interval stays honest.
+		neff = n * n * (k - 1) / (k * float64(st.ClusterEvSq))
+	}
+	return math.Min(n, math.Max(1, neff))
 }
 
 // Estimate derives the monitor's current estimate.
@@ -318,11 +444,17 @@ func (m *Monitor) Estimate() Estimate {
 // inside [0,1] and behaves at the small trial counts a thin sample slice
 // produces. Returns the uninformative [0,1] when trials is 0.
 func Wilson(successes, trials uint64, z float64) (lo, hi float64) {
-	if trials == 0 {
+	return wilsonReal(float64(successes), float64(trials), z)
+}
+
+// wilsonReal is Wilson over real-valued counts, as produced by the effective
+// trial count of the cluster-robust interval (n_eff is rarely an integer).
+func wilsonReal(successes, trials, z float64) (lo, hi float64) {
+	if trials <= 0 {
 		return 0, 1
 	}
-	n := float64(trials)
-	p := float64(successes) / n
+	n := trials
+	p := successes / n
 	z2 := z * z
 	den := 1 + z2/n
 	center := (p + z2/(2*n)) / den

@@ -135,6 +135,7 @@ func TestVerdictPairing(t *testing.T) {
 		SampledAccesses: 10, SampledReads: 6, SampledWrites: 4,
 		SampledGranules: 5,
 		SigEvents:       3, Confirmed: 1, FalsePositives: 2, MissedEvents: 1,
+		EventGranules: 3, ClusterEvSq: 3, ClusterFPSq: 2, ClusterEvFP: 2,
 	}
 	// The shadow tracks granules it has seen reads for too.
 	want.SampledGranules = uint64(m.shadow.Entries())

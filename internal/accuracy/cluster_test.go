@@ -1,0 +1,224 @@
+package accuracy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// driveEvent produces exactly one signature event on granule g: a confirmed
+// verdict when fp is false (production attributes the write correctly) or a
+// false positive when fp is true (production names a writer the exact shadow
+// refutes).
+func driveEvent(m *Monitor, g uint64, fp bool) {
+	m.ObserveWrite(g, 0)
+	writer := int32(0)
+	if fp {
+		writer = 2
+	}
+	m.ObserveRead(g, 1, true, writer)
+}
+
+// momentsOf computes the granule moments by brute force from per-granule
+// (events, falsePositives) tallies.
+func momentsOf(tallies map[uint64][2]uint64) (k, evSq, fpSq, evFP uint64) {
+	for _, t := range tallies {
+		k++
+		evSq += t[0] * t[0]
+		fpSq += t[1] * t[1]
+		evFP += t[0] * t[1]
+	}
+	return
+}
+
+// TestClusterMomentsIncremental checks the incrementally maintained moments
+// against a brute-force recomputation over a randomized event sequence.
+func TestClusterMomentsIncremental(t *testing.T) {
+	m, err := New(Options{Threads: 4, TargetFPR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	tallies := make(map[uint64][2]uint64)
+	for i := 0; i < 500; i++ {
+		g := uint64(rng.Intn(8)) * 64
+		fp := rng.Float64() < 0.3
+		driveEvent(m, g, fp)
+		tl := tallies[g]
+		tl[0]++
+		if fp {
+			tl[1]++
+		}
+		tallies[g] = tl
+	}
+	st := m.Stats()
+	k, evSq, fpSq, evFP := momentsOf(tallies)
+	if st.EventGranules != k || st.ClusterEvSq != evSq || st.ClusterFPSq != fpSq || st.ClusterEvFP != evFP {
+		t.Fatalf("incremental moments (k=%d Σn²=%d Σf²=%d Σnf=%d) != brute force (k=%d Σn²=%d Σf²=%d Σnf=%d)",
+			st.EventGranules, st.ClusterEvSq, st.ClusterFPSq, st.ClusterEvFP, k, evSq, fpSq, evFP)
+	}
+	if st.SigEvents != 500 {
+		t.Fatalf("SigEvents = %d, want 500", st.SigEvents)
+	}
+}
+
+// TestClusterStatsMerge checks that per-shard moments merge by summation:
+// two monitors over disjoint granule sets must add up to the brute-force
+// moments of the union — the situation pipeline.AccuracyStats produces,
+// since shard routing never splits a granule's history.
+func TestClusterStatsMerge(t *testing.T) {
+	newMon := func() *Monitor {
+		m, err := New(Options{Threads: 4, TargetFPR: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := newMon(), newMon()
+	rng := rand.New(rand.NewSource(11))
+	tallies := make(map[uint64][2]uint64)
+	for i := 0; i < 300; i++ {
+		g := uint64(rng.Intn(10)) * 64
+		m := a
+		if g/64%2 == 1 { // odd granules on shard b, even on shard a
+			m = b
+		}
+		fp := rng.Float64() < 0.2
+		driveEvent(m, g, fp)
+		tl := tallies[g]
+		tl[0]++
+		if fp {
+			tl[1]++
+		}
+		tallies[g] = tl
+	}
+	st := a.Stats().Add(b.Stats())
+	k, evSq, fpSq, evFP := momentsOf(tallies)
+	if st.EventGranules != k || st.ClusterEvSq != evSq || st.ClusterFPSq != fpSq || st.ClusterEvFP != evFP {
+		t.Fatalf("merged moments (k=%d Σn²=%d Σf²=%d Σnf=%d) != union brute force (k=%d Σn²=%d Σf²=%d Σnf=%d)",
+			st.EventGranules, st.ClusterEvSq, st.ClusterFPSq, st.ClusterEvFP, k, evSq, fpSq, evFP)
+	}
+}
+
+// clusteredStats builds the Stats of k equal-size clusters of size e, nBad of
+// which are fully poisoned (every event a false positive) — the worst-case
+// clustering a saturated per-granule filter produces.
+func clusteredStats(k, e, nBad uint64) Stats {
+	return Stats{
+		SigEvents:      k * e,
+		Confirmed:      (k - nBad) * e,
+		FalsePositives: nBad * e,
+		EventGranules:  k,
+		ClusterEvSq:    k * e * e,
+		ClusterFPSq:    nBad * e * e,
+		ClusterEvFP:    nBad * e * e,
+	}
+}
+
+// TestEffectiveTrialsFullyCorrelated pins the analytic value: with k equal
+// clusters whose false positives are fully within-cluster correlated, the
+// robust variance is p(1-p)/(k-1), so the effective trial count is exactly
+// k-1 regardless of cluster size.
+func TestEffectiveTrialsFullyCorrelated(t *testing.T) {
+	est := EstimateFrom(clusteredStats(40, 50, 4), 0, 0.05)
+	if math.Abs(est.EffectiveSigEvents-39) > 1e-6 {
+		t.Fatalf("EffectiveSigEvents = %v, want 39", est.EffectiveSigEvents)
+	}
+	if want := 2000.0 / 39; math.Abs(est.DesignEffect-want) > 1e-6 {
+		t.Fatalf("DesignEffect = %v, want %v", est.DesignEffect, want)
+	}
+	if est.FPRLowClustered >= est.FPRLow || est.FPRHighClustered <= est.FPRHigh {
+		t.Fatalf("clustered interval [%v,%v] not wider than naive [%v,%v]",
+			est.FPRLowClustered, est.FPRHighClustered, est.FPRLow, est.FPRHigh)
+	}
+}
+
+// TestEffectiveTrialsIndependent: one event per granule carries no
+// clustering, so the design effect must stay ~1 and the clustered interval
+// must essentially coincide with the naive one.
+func TestEffectiveTrialsIndependent(t *testing.T) {
+	const k = 200
+	st := Stats{
+		SigEvents: k, Confirmed: k - 20, FalsePositives: 20,
+		EventGranules: k, ClusterEvSq: k, ClusterFPSq: 20, ClusterEvFP: 20,
+	}
+	est := EstimateFrom(st, 0, 0.05)
+	if est.EffectiveSigEvents < k-1 {
+		t.Fatalf("EffectiveSigEvents = %v, want >= %d", est.EffectiveSigEvents, k-1)
+	}
+	if est.DesignEffect > 1.02 {
+		t.Fatalf("DesignEffect = %v on independent trials", est.DesignEffect)
+	}
+	if math.Abs(est.FPRHighClustered-est.FPRHigh) > 0.005 {
+		t.Fatalf("clustered upper %v drifted from naive %v without clustering",
+			est.FPRHighClustered, est.FPRHigh)
+	}
+}
+
+// TestEffectiveTrialsDegenerate covers the p̂ ∈ {0,1} corner where the robust
+// variance vanishes: the worst-case ρ=1 fallback must count each equal-size
+// cluster as ~one trial, and a single cluster must collapse to one trial.
+func TestEffectiveTrialsDegenerate(t *testing.T) {
+	est := EstimateFrom(clusteredStats(10, 30, 10), 0, 0.05) // every event a FP
+	if math.Abs(est.EffectiveSigEvents-9) > 1e-6 {
+		t.Fatalf("all-FP EffectiveSigEvents = %v, want 9", est.EffectiveSigEvents)
+	}
+	est = EstimateFrom(clusteredStats(10, 30, 0), 0, 0.05) // no FPs at all
+	if math.Abs(est.EffectiveSigEvents-9) > 1e-6 {
+		t.Fatalf("no-FP EffectiveSigEvents = %v, want 9", est.EffectiveSigEvents)
+	}
+	if est.FPRHighClustered <= est.FPRHigh {
+		t.Fatal("degenerate clustered upper bound not wider than naive")
+	}
+	one := EstimateFrom(clusteredStats(1, 30, 1), 0, 0.05)
+	if one.EffectiveSigEvents != 1 {
+		t.Fatalf("single-cluster EffectiveSigEvents = %v, want 1", one.EffectiveSigEvents)
+	}
+}
+
+// TestClusteredCoverageMonteCarlo is the estimator-validation experiment for
+// the clustered interval: a synthetic workload where false positives are
+// fully granule-correlated (each granule is poisoned with probability p and
+// then every one of its events is a false positive). The naive Wilson
+// interval, assuming independent events, must badly undercover the true FPR;
+// the cluster-robust interval must restore ~95% coverage.
+func TestClusteredCoverageMonteCarlo(t *testing.T) {
+	const (
+		reps  = 400
+		k     = 40   // granules with events per rep
+		e     = 50   // events per granule
+		pTrue = 0.10 // granule poisoning probability == true FPR
+	)
+	rng := rand.New(rand.NewSource(42))
+	var naiveCover, clusterCover int
+	var deffSum float64
+	for r := 0; r < reps; r++ {
+		var nBad uint64
+		for g := 0; g < k; g++ {
+			if rng.Float64() < pTrue {
+				nBad++
+			}
+		}
+		est := EstimateFrom(clusteredStats(k, e, nBad), 0, 0.05)
+		if est.FPRLow <= pTrue && pTrue <= est.FPRHigh {
+			naiveCover++
+		}
+		if est.FPRLowClustered <= pTrue && pTrue <= est.FPRHighClustered {
+			clusterCover++
+		}
+		deffSum += est.DesignEffect
+	}
+	naive := float64(naiveCover) / reps
+	clustered := float64(clusterCover) / reps
+	t.Logf("coverage over %d reps: naive %.1f%%, clustered %.1f%%, mean design effect %.1f",
+		reps, 100*naive, 100*clustered, deffSum/reps)
+	if naive >= 0.7 {
+		t.Errorf("naive Wilson coverage %.2f unexpectedly high; clustering synthetic broken?", naive)
+	}
+	if clustered < 0.9 {
+		t.Errorf("cluster-robust coverage %.2f below 0.9: design-effect correction insufficient", clustered)
+	}
+	if deffSum/reps < 10 {
+		t.Errorf("mean design effect %.1f too small for fully correlated clusters of %d", deffSum/reps, e)
+	}
+}

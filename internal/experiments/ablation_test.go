@@ -109,9 +109,24 @@ func TestPhasesSegmentsRadix(t *testing.T) {
 	if vol == 0 {
 		t.Fatal("no communication in any phase")
 	}
+	if !res.Identical {
+		t.Fatal("sharded merged window set differs from the serial segmenter's")
+	}
+	if len(res.Timeline.Windows) == 0 {
+		t.Fatal("no classified timeline windows")
+	}
+	var windowed uint64
+	for _, w := range res.Timeline.Windows {
+		windowed += w.Bytes
+	}
+	if windowed != vol {
+		t.Fatalf("timeline bytes %d != phase bytes %d", windowed, vol)
+	}
 	out := res.Render()
-	if !strings.Contains(out, "phase 1") || !strings.Contains(out, "radix") {
-		t.Error("render incomplete")
+	for _, want := range []string{"phase 1", "radix", "BIT-IDENTICAL", "classified timeline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
 	}
 }
 

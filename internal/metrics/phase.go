@@ -22,20 +22,22 @@ type Phase struct {
 // distinct matrices, which is what lets the profiler notify an optimizer of
 // behaviour changes instead of reporting one static whole-program pattern.
 //
-// Feed events via Observe (usable as a detect Options.OnEvent callback in
-// deterministic runs) and call Finish once.
+// Window storage delegates to comm.WindowSet — the same windowed sub-matrix
+// layer the sharded pipeline accumulates per shard — so the serial and
+// sharded paths share one bucketing rule (window = event time / windowSize)
+// and are bit-identical by construction. Events may arrive in any time
+// order; windows are keyed by the global access index carried on each event,
+// not by arrival.
+//
+// Feed events via Observe (usable as a detect Options.OnEvent callback),
+// optionally stream closed windows out via Advance, and call Finish once.
 type PhaseSegmenter struct {
 	threads    int
 	windowSize uint64
 	threshold  float64 // cosine-similarity merge threshold
 
-	windows []window
-	current *window
-}
-
-type window struct {
-	start  uint64
-	matrix *comm.Matrix
+	live   *comm.WindowSet
+	closer *comm.WindowCloser
 }
 
 // NewPhaseSegmenter creates a segmenter with the given window length in
@@ -51,45 +53,67 @@ func NewPhaseSegmenter(threads int, windowSize uint64, threshold float64) (*Phas
 	if threshold <= 0 || threshold > 1 {
 		return nil, fmt.Errorf("metrics: threshold must be in (0,1], got %v", threshold)
 	}
-	return &PhaseSegmenter{threads: threads, windowSize: windowSize, threshold: threshold}, nil
+	live, err := comm.NewWindowSet(threads, windowSize)
+	if err != nil {
+		return nil, err
+	}
+	closer, err := comm.NewWindowCloser(threads, windowSize)
+	if err != nil {
+		return nil, err
+	}
+	return &PhaseSegmenter{threads: threads, windowSize: windowSize, threshold: threshold, live: live, closer: closer}, nil
 }
 
-// Observe records one communication event. Events must arrive in
-// non-decreasing time order (deterministic-mode detection guarantees this).
+// Observe records one communication event into its time window.
 func (p *PhaseSegmenter) Observe(ev detect.Event) {
-	wstart := ev.Time / p.windowSize * p.windowSize
-	if p.current == nil || p.current.start != wstart {
-		p.flush()
-		p.current = &window{start: wstart, matrix: comm.NewMatrix(p.threads)}
-	}
-	p.current.matrix.Add(ev.Writer, ev.Reader, uint64(ev.Bytes))
+	p.live.Observe(ev.Time, ev.Region, ev.Writer, ev.Reader, uint64(ev.Bytes))
 }
 
-func (p *PhaseSegmenter) flush() {
-	if p.current != nil {
-		p.windows = append(p.windows, *p.current)
-		p.current = nil
-	}
+// Advance closes every window wholly below the current maximum observed
+// event time and emits each newly completed window, in order, to onClose
+// (nil ok). In deterministic runs event time is monotone, so a window below
+// the max is final; the live observability sampler drives this periodically.
+func (p *PhaseSegmenter) Advance(onClose func(w *comm.Window, end uint64)) int {
+	return p.closer.Advance(p.live.MaxTime(), []*comm.WindowSet{p.live}, onClose)
+}
+
+// Flush closes every remaining window, emitting each unemitted one to
+// onClose (nil ok).
+func (p *PhaseSegmenter) Flush(onClose func(w *comm.Window, end uint64)) int {
+	return p.closer.Advance(^uint64(0), []*comm.WindowSet{p.live}, onClose)
+}
+
+// WindowSet returns the merged set of every closed window. Complete after
+// Flush or Finish.
+func (p *PhaseSegmenter) WindowSet() *comm.WindowSet {
+	return p.closer.Done()
 }
 
 // Finish merges windows into phases and returns them in time order.
 func (p *PhaseSegmenter) Finish() []Phase {
-	p.flush()
+	p.Flush(nil)
+	return SegmentWindows(p.closer.Done().Sorted(), p.windowSize, p.threshold)
+}
+
+// SegmentWindows merges a time-ordered window sequence into phases: adjacent
+// windows whose global matrices have cosine similarity >= threshold join the
+// same phase. The input windows are not mutated.
+func SegmentWindows(wins []*comm.Window, windowSize uint64, threshold float64) []Phase {
 	var phases []Phase
-	for _, w := range p.windows {
+	for _, w := range wins {
 		if len(phases) > 0 {
 			last := &phases[len(phases)-1]
-			if CosineSimilarity(last.Matrix, w.matrix) >= p.threshold {
-				last.Matrix.AddMatrix(w.matrix)
-				last.End = w.start + p.windowSize
+			if CosineSimilarity(last.Matrix, w.Global) >= threshold {
+				last.Matrix.AddMatrix(w.Global)
+				last.End = w.Start + windowSize
 				last.Windows++
 				continue
 			}
 		}
 		phases = append(phases, Phase{
-			Start:   w.start,
-			End:     w.start + p.windowSize,
-			Matrix:  w.matrix.Clone(),
+			Start:   w.Start,
+			End:     w.Start + windowSize,
+			Matrix:  w.Global.Clone(),
 			Windows: 1,
 		})
 	}

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+
+	"commprof/internal/comm"
+	"commprof/internal/obs"
+	"commprof/internal/patterns"
+)
+
+// TimelineWindow is one classified communication window of the final report.
+type TimelineWindow struct {
+	Start, End uint64
+	Class      patterns.Class
+	Confidence float64
+	Bytes      uint64
+}
+
+// Transition marks a whole-program pattern change between two consecutive
+// windows; At is the start of the window that introduced the new class.
+type Transition struct {
+	At   uint64
+	From patterns.Class
+	To   patterns.Class
+}
+
+// LoopTimeline aggregates one loop region's windowed communication.
+type LoopTimeline struct {
+	Region  int32
+	Class   patterns.Class // classification of the loop's summed matrix
+	Bytes   uint64
+	Windows int // windows in which the loop communicated
+}
+
+// Timeline is the classified phase timeline of one run.
+type Timeline struct {
+	WindowSize  uint64
+	Windows     []TimelineWindow
+	Transitions []Transition
+	Loops       []LoopTimeline
+}
+
+// BuildTimeline classifies every window of a complete merged set, in time
+// order, into the report timeline. It is a deterministic function of the
+// window set and the classifier, so the serial and sharded paths — which
+// build bit-identical window sets — produce bit-identical timelines.
+// isLoop (nil = none) selects which regions are loop regions; the loop
+// digest keeps the top maxLoops by communicated bytes.
+func BuildTimeline(ws *comm.WindowSet, cls patterns.Classifier, isLoop func(int32) bool, maxLoops int) Timeline {
+	tl := Timeline{WindowSize: ws.WindowSize()}
+	loopBytes := make(map[int32]uint64)
+	loopWindows := make(map[int32]int)
+	loopSum := make(map[int32]*comm.Matrix)
+	for _, w := range ws.Sorted() {
+		class, conf := patterns.ClassifyMatrixWithConfidence(cls, w.Global)
+		if n := len(tl.Windows); n > 0 && tl.Windows[n-1].Class != class {
+			tl.Transitions = append(tl.Transitions, Transition{At: w.Start, From: tl.Windows[n-1].Class, To: class})
+		}
+		tl.Windows = append(tl.Windows, TimelineWindow{
+			Start: w.Start, End: w.Start + ws.WindowSize(),
+			Class: class, Confidence: conf, Bytes: w.Global.Total(),
+		})
+		for region, m := range w.Regions {
+			if isLoop == nil || !isLoop(region) {
+				continue
+			}
+			loopBytes[region] += m.Total()
+			loopWindows[region]++
+			sum, ok := loopSum[region]
+			if !ok {
+				sum = comm.NewMatrix(ws.Threads())
+				loopSum[region] = sum
+			}
+			sum.AddMatrix(m)
+		}
+	}
+	for region, bytes := range loopBytes {
+		class, _ := patterns.ClassifyMatrixWithConfidence(cls, loopSum[region])
+		tl.Loops = append(tl.Loops, LoopTimeline{
+			Region: region, Class: class, Bytes: bytes, Windows: loopWindows[region],
+		})
+	}
+	sort.Slice(tl.Loops, func(i, j int) bool {
+		if tl.Loops[i].Bytes != tl.Loops[j].Bytes {
+			return tl.Loops[i].Bytes > tl.Loops[j].Bytes
+		}
+		return tl.Loops[i].Region < tl.Loops[j].Region
+	})
+	if maxLoops > 0 && len(tl.Loops) > maxLoops {
+		tl.Loops = tl.Loops[:maxLoops]
+	}
+	return tl
+}
+
+// LoopStatus is one hot loop's live classification state.
+type LoopStatus struct {
+	Region     int32
+	Class      patterns.Class
+	Confidence float64
+	Bytes      uint64
+	Windows    uint64
+}
+
+// LiveSnapshot is the phase layer's contribution to a /progress snapshot.
+type LiveSnapshot struct {
+	Current       patterns.WindowClass
+	HasCurrent    bool
+	WindowsClosed uint64
+	Transitions   uint64
+	Recent        []patterns.WindowClass
+	Loops         []LoopStatus // hottest first
+}
+
+// LivePhases multiplexes a stream of closed windows into live classification
+// state: a whole-program streaming classifier plus one per loop region that
+// communicates. ObserveWindow is shaped to serve directly as the pipeline's
+// OnWindowClose callback (and the serial segmenter's Advance callback);
+// Snapshot serves /progress and the metric gauges concurrently.
+type LivePhases struct {
+	cls    patterns.Classifier
+	isLoop func(int32) bool
+	keep   int
+	probes *obs.PhaseProbes
+	global *patterns.Online
+
+	mu        sync.Mutex
+	loops     map[int32]*patterns.Online
+	loopBytes map[int32]uint64
+}
+
+// NewLivePhases builds the live multiplexer. isLoop (nil = no per-loop
+// tracking) selects loop regions; keep bounds the recent-window ring; probes
+// (nil ok) receives window/transition counter increments.
+func NewLivePhases(cls patterns.Classifier, isLoop func(int32) bool, keep int, probes *obs.PhaseProbes) *LivePhases {
+	return &LivePhases{
+		cls: cls, isLoop: isLoop, keep: keep, probes: probes,
+		global:    patterns.NewOnline(cls, keep),
+		loops:     make(map[int32]*patterns.Online),
+		loopBytes: make(map[int32]uint64),
+	}
+}
+
+// ObserveWindow classifies one closed window — whole-program and per
+// communicating loop region — and updates the live counters.
+func (l *LivePhases) ObserveWindow(w *comm.Window, end uint64) {
+	_, transition := l.global.Observe(w.Start, end, w.Global)
+	if l.probes != nil {
+		l.probes.WindowsClosed.Inc()
+		if transition {
+			l.probes.Transitions.Inc()
+		}
+	}
+	for region, m := range w.Regions {
+		if l.isLoop == nil || !l.isLoop(region) {
+			continue
+		}
+		l.mu.Lock()
+		o, ok := l.loops[region]
+		if !ok {
+			o = patterns.NewOnline(l.cls, 0)
+			l.loops[region] = o
+		}
+		l.loopBytes[region] += m.Total()
+		l.mu.Unlock()
+		o.Observe(w.Start, end, m)
+	}
+}
+
+// Current returns the latest whole-program window classification.
+func (l *LivePhases) Current() (patterns.WindowClass, bool) { return l.global.Current() }
+
+// WindowsClosed returns the number of windows observed so far.
+func (l *LivePhases) WindowsClosed() uint64 { return l.global.Windows() }
+
+// Transitions returns the number of whole-program class changes so far.
+func (l *LivePhases) Transitions() uint64 { return l.global.Transitions() }
+
+// ClassCounts returns per-class closed-window counts.
+func (l *LivePhases) ClassCounts() [patterns.NumClasses]uint64 { return l.global.ClassCounts() }
+
+// Snapshot captures the live state for /progress: the current whole-program
+// pattern, the recent window ring, and the maxLoops hottest loops (by bytes
+// communicated so far) with their latest per-loop classification.
+func (l *LivePhases) Snapshot(maxLoops int) LiveSnapshot {
+	snap := LiveSnapshot{
+		WindowsClosed: l.global.Windows(),
+		Transitions:   l.global.Transitions(),
+		Recent:        l.global.Recent(),
+	}
+	snap.Current, snap.HasCurrent = l.global.Current()
+	l.mu.Lock()
+	for region, o := range l.loops {
+		cur, ok := o.Current()
+		if !ok {
+			continue
+		}
+		snap.Loops = append(snap.Loops, LoopStatus{
+			Region: region, Class: cur.Class, Confidence: cur.Confidence,
+			Bytes: l.loopBytes[region], Windows: o.Windows(),
+		})
+	}
+	l.mu.Unlock()
+	sort.Slice(snap.Loops, func(i, j int) bool {
+		if snap.Loops[i].Bytes != snap.Loops[j].Bytes {
+			return snap.Loops[i].Bytes > snap.Loops[j].Bytes
+		}
+		return snap.Loops[i].Region < snap.Loops[j].Region
+	})
+	if maxLoops > 0 && len(snap.Loops) > maxLoops {
+		snap.Loops = snap.Loops[:maxLoops]
+	}
+	return snap
+}

@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"commprof/internal/comm"
+	"commprof/internal/detect"
+	"commprof/internal/patterns"
+)
+
+func timelineKNN(t *testing.T) *patterns.KNN {
+	t.Helper()
+	rng := rand.New(rand.NewSource(0x7e57))
+	knn, err := patterns.NewKNN(5, patterns.Corpus(40, []int{8, 16}, 0, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return knn
+}
+
+// windowSetFromPatterns builds a window set whose windows carry generated
+// pattern matrices: wins[i] uses class classes[i], with region regions[i]
+// (negative = global only).
+func windowSetFromPatterns(t *testing.T, threads int, size uint64, classes []patterns.Class, regions []int32) *comm.WindowSet {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	ws, err := comm.NewWindowSet(threads, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range classes {
+		m := patterns.Generate(c, threads, rng)
+		start := uint64(i) * size
+		for s := 0; s < threads; s++ {
+			for d := 0; d < threads; d++ {
+				if v := m.At(s, d); v > 0 {
+					ws.Observe(start, regions[i], int32(s), int32(d), v)
+				}
+			}
+		}
+	}
+	return ws
+}
+
+func TestBuildTimeline(t *testing.T) {
+	knn := timelineKNN(t)
+	const threads, size = 16, 100
+	classes := []patterns.Class{
+		patterns.Pipeline, patterns.Pipeline,
+		patterns.MasterWorker, patterns.MasterWorker,
+	}
+	regions := []int32{3, 3, 7, -1}
+	ws := windowSetFromPatterns(t, threads, size, classes, regions)
+
+	isLoop := func(r int32) bool { return r == 3 || r == 7 }
+	tl := BuildTimeline(ws, knn, isLoop, 10)
+	if tl.WindowSize != size {
+		t.Fatalf("WindowSize %d, want %d", tl.WindowSize, size)
+	}
+	if len(tl.Windows) != 4 {
+		t.Fatalf("%d timeline windows, want 4", len(tl.Windows))
+	}
+	for i, w := range tl.Windows {
+		if w.Start != uint64(i)*size || w.End != uint64(i+1)*size {
+			t.Fatalf("window %d bounds [%d,%d)", i, w.Start, w.End)
+		}
+		if w.Confidence <= 0 || w.Confidence > 1 {
+			t.Fatalf("window %d confidence %v", i, w.Confidence)
+		}
+		if w.Bytes == 0 {
+			t.Fatalf("window %d has no volume", i)
+		}
+	}
+	// The corpora are cleanly separable, so the forced pattern change at
+	// window 2 must produce a transition at its start.
+	if len(tl.Transitions) == 0 {
+		t.Fatal("no transitions across a forced pattern change")
+	}
+	found := false
+	for _, tr := range tl.Transitions {
+		if tr.At == 2*size && tr.From != tr.To {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no transition at t=%d: %+v", 2*size, tl.Transitions)
+	}
+	if len(tl.Loops) != 2 {
+		t.Fatalf("%d loop digests, want 2", len(tl.Loops))
+	}
+	// Region 3 appeared in two windows, region 7 in one.
+	byRegion := map[int32]LoopTimeline{}
+	for _, l := range tl.Loops {
+		byRegion[l.Region] = l
+	}
+	if byRegion[3].Windows != 2 || byRegion[7].Windows != 1 {
+		t.Fatalf("loop window counts %+v", byRegion)
+	}
+	if tl.Loops[0].Bytes < tl.Loops[1].Bytes {
+		t.Fatal("loops not sorted by bytes desc")
+	}
+
+	// Determinism: a second build is identical.
+	tl2 := BuildTimeline(ws, knn, isLoop, 10)
+	if len(tl2.Windows) != len(tl.Windows) || len(tl2.Transitions) != len(tl.Transitions) {
+		t.Fatal("BuildTimeline is not deterministic")
+	}
+	for i := range tl.Windows {
+		if tl.Windows[i] != tl2.Windows[i] {
+			t.Fatalf("window %d differs between builds", i)
+		}
+	}
+}
+
+func TestLivePhasesSnapshot(t *testing.T) {
+	knn := timelineKNN(t)
+	const threads, size = 16, 100
+	classes := []patterns.Class{patterns.Pipeline, patterns.Pipeline, patterns.MasterWorker}
+	regions := []int32{3, 7, 3}
+	ws := windowSetFromPatterns(t, threads, size, classes, regions)
+
+	lp := NewLivePhases(knn, func(r int32) bool { return r == 3 || r == 7 }, 2, nil)
+	for _, w := range ws.Sorted() {
+		lp.ObserveWindow(w, w.Start+size)
+	}
+
+	if lp.WindowsClosed() != 3 {
+		t.Fatalf("WindowsClosed %d, want 3", lp.WindowsClosed())
+	}
+	if lp.Transitions() == 0 {
+		t.Fatal("no live transitions across a forced pattern change")
+	}
+	snap := lp.Snapshot(10)
+	if !snap.HasCurrent || snap.Current.Start != 2*size {
+		t.Fatalf("snapshot current %+v", snap.Current)
+	}
+	if len(snap.Recent) != 2 {
+		t.Fatalf("recent ring kept %d, want 2", len(snap.Recent))
+	}
+	if len(snap.Loops) != 2 {
+		t.Fatalf("%d live loops, want 2", len(snap.Loops))
+	}
+	if snap.Loops[0].Bytes < snap.Loops[1].Bytes {
+		t.Fatal("live loops not sorted by bytes desc")
+	}
+	var counts uint64
+	for _, n := range lp.ClassCounts() {
+		counts += n
+	}
+	if counts != 3 {
+		t.Fatalf("class counts sum %d, want 3", counts)
+	}
+	if got := lp.Snapshot(1); len(got.Loops) != 1 {
+		t.Fatalf("maxLoops=1 returned %d loops", len(got.Loops))
+	}
+}
+
+// TestSegmenterStreamingMatchesFinish pins that driving the segmenter with
+// periodic Advance calls (the live path) emits exactly the windows Finish
+// would aggregate, in order, and that Finish still returns the same phases
+// as a never-advanced twin.
+func TestSegmenterStreamingMatchesFinish(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	mk := func() *PhaseSegmenter {
+		p, err := NewPhaseSegmenter(8, 50, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	streamed, plain := mk(), mk()
+	var emitted []uint64
+	onClose := func(w *comm.Window, end uint64) { emitted = append(emitted, w.Start) }
+	for i := 0; i < 1000; i++ {
+		ev := detect.Event{
+			Time:   uint64(i),
+			Writer: int32(rng.Intn(8)),
+			Reader: int32(rng.Intn(8)),
+			Bytes:  uint32(1 + rng.Intn(8)),
+			Region: int32(rng.Intn(4)) - 1,
+		}
+		streamed.Observe(ev)
+		plain.Observe(ev)
+		if i%97 == 0 {
+			streamed.Advance(onClose)
+		}
+	}
+	streamed.Flush(onClose)
+
+	a, b := streamed.Finish(), plain.Finish()
+	if !streamed.WindowSet().Equal(plain.WindowSet()) {
+		t.Fatal("streamed and plain window sets differ")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("streamed %d phases, plain %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Start != b[i].Start || a[i].End != b[i].End || a[i].Windows != b[i].Windows || !a[i].Matrix.Equal(b[i].Matrix) {
+			t.Fatalf("phase %d differs", i)
+		}
+	}
+	wins := streamed.WindowSet().Sorted()
+	if len(emitted) != len(wins) {
+		t.Fatalf("emitted %d windows, set holds %d", len(emitted), len(wins))
+	}
+	for i, start := range emitted {
+		if start != wins[i].Start {
+			t.Fatalf("emission %d start %d, want %d", i, start, wins[i].Start)
+		}
+	}
+}

@@ -85,6 +85,22 @@ type TraceProbes struct {
 	DecodedRecords *Counter
 }
 
+// PhaseProbes instruments the windowed phase-classification layer
+// (internal/metrics timeline + pipeline window close).
+type PhaseProbes struct {
+	// WindowsClosed counts communication windows closed and classified.
+	WindowsClosed *Counter
+	// Transitions counts whole-program pattern-class changes between
+	// consecutive closed windows.
+	Transitions *Counter
+	// LateWindows counts shard window partials that surfaced after their
+	// window had already been emitted live (possible only in parallel engine
+	// mode, where per-shard arrival order is not monotone in event time; the
+	// final report timeline is recomputed from complete merged windows and is
+	// unaffected).
+	LateWindows *Counter
+}
+
 // EngineProbes instruments the simulated-thread executor.
 type EngineProbes struct {
 	// QuantumSwitches counts deterministic-scheduler turns (one per quantum
@@ -104,6 +120,7 @@ type Probes struct {
 	Pipeline *PipelineProbes
 	Trace    *TraceProbes
 	Accuracy *AccuracyProbes
+	Phase    *PhaseProbes
 }
 
 // DefaultProbes wires a full probe set into r under the standard metric
@@ -146,6 +163,11 @@ func DefaultProbes(r *Registry) *Probes {
 			Confirmed:      r.Counter("accuracy_confirmed_total"),
 			FalsePositives: r.Counter("accuracy_false_positives_total"),
 			MissedEvents:   r.Counter("accuracy_missed_events_total"),
+		},
+		Phase: &PhaseProbes{
+			WindowsClosed: r.Counter("phase_windows_closed_total"),
+			Transitions:   r.Counter("phase_transitions_total"),
+			LateWindows:   r.Counter("phase_late_windows_total"),
 		},
 	}
 }
@@ -196,4 +218,12 @@ func (p *Probes) AccuracyProbes() *AccuracyProbes {
 		return nil
 	}
 	return p.Accuracy
+}
+
+// PhaseProbes returns the phase-classification bundle; nil-safe.
+func (p *Probes) PhaseProbes() *PhaseProbes {
+	if p == nil {
+		return nil
+	}
+	return p.Phase
 }

@@ -98,8 +98,8 @@ func (m *KNN) scale(f [FeatureDim]float64) [FeatureDim]float64 {
 	return out
 }
 
-// Predict implements Classifier.
-func (m *KNN) Predict(f [FeatureDim]float64) Class {
+// vote tallies the k nearest neighbours' labels.
+func (m *KNN) vote(f [FeatureDim]float64) [NumClasses]int {
 	q := m.scale(f)
 	type nd struct {
 		d     float64
@@ -115,10 +115,16 @@ func (m *KNN) Predict(f [FeatureDim]float64) Class {
 		ds[i] = nd{sum, m.labels[i]}
 	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
-	votes := make([]int, NumClasses)
+	var votes [NumClasses]int
 	for i := 0; i < m.k && i < len(ds); i++ {
 		votes[ds[i].label]++
 	}
+	return votes
+}
+
+// Predict implements Classifier.
+func (m *KNN) Predict(f [FeatureDim]float64) Class {
+	votes := m.vote(f)
 	best, bestV := Class(0), -1
 	for c, v := range votes {
 		if v > bestV {
@@ -176,15 +182,21 @@ func NewNaiveBayes(train []Sample) (*NaiveBayes, error) {
 // Name implements Classifier.
 func (m *NaiveBayes) Name() string { return "naive-bayes" }
 
+// logLikelihood is the unnormalized class log-posterior.
+func (m *NaiveBayes) logLikelihood(c Class, f [FeatureDim]float64) float64 {
+	ll := math.Log(m.prior[c])
+	for j, v := range f {
+		d := v - m.mean[c][j]
+		ll += -0.5*math.Log(2*math.Pi*m.vari[c][j]) - d*d/(2*m.vari[c][j])
+	}
+	return ll
+}
+
 // Predict implements Classifier.
 func (m *NaiveBayes) Predict(f [FeatureDim]float64) Class {
 	best, bestLL := Class(0), math.Inf(-1)
 	for c := 0; c < int(NumClasses); c++ {
-		ll := math.Log(m.prior[c])
-		for j, v := range f {
-			d := v - m.mean[c][j]
-			ll += -0.5*math.Log(2*math.Pi*m.vari[c][j]) - d*d/(2*m.vari[c][j])
-		}
+		ll := m.logLikelihood(Class(c), f)
 		if ll > bestLL {
 			best, bestLL = Class(c), ll
 		}

@@ -1,0 +1,167 @@
+package patterns
+
+import (
+	"math"
+	"sync"
+
+	"commprof/internal/comm"
+)
+
+// ConfidenceClassifier is an optional extension of Classifier for models that
+// can attach a confidence to their prediction. KNN reports its vote fraction,
+// NaiveBayes its softmax posterior; classifiers without a meaningful score
+// (RuleBased) fall back to Predict with confidence 1.
+type ConfidenceClassifier interface {
+	Classifier
+	// PredictWithConfidence returns the most likely class and a confidence in
+	// (0, 1].
+	PredictWithConfidence(f [FeatureDim]float64) (Class, float64)
+}
+
+// ClassifyMatrixWithConfidence extracts features and predicts with a
+// confidence when the classifier supports one (1.0 otherwise).
+func ClassifyMatrixWithConfidence(c Classifier, m *comm.Matrix) (Class, float64) {
+	f := Features(m)
+	if cc, ok := c.(ConfidenceClassifier); ok {
+		return cc.PredictWithConfidence(f)
+	}
+	return c.Predict(f), 1
+}
+
+// PredictWithConfidence implements ConfidenceClassifier: the confidence is
+// the winning class's share of the k votes.
+func (m *KNN) PredictWithConfidence(f [FeatureDim]float64) (Class, float64) {
+	votes := m.vote(f)
+	best, bestV := Class(0), -1
+	for c, v := range votes {
+		if v > bestV {
+			best, bestV = Class(c), v
+		}
+	}
+	k := m.k
+	if len(m.points) < k {
+		k = len(m.points)
+	}
+	if k == 0 {
+		return best, 1
+	}
+	return best, float64(bestV) / float64(k)
+}
+
+// PredictWithConfidence implements ConfidenceClassifier: the confidence is
+// the softmax posterior of the winning class over the per-class
+// log-likelihoods (computed stably via log-sum-exp).
+func (m *NaiveBayes) PredictWithConfidence(f [FeatureDim]float64) (Class, float64) {
+	var ll [NumClasses]float64
+	best, bestLL := Class(0), math.Inf(-1)
+	for c := 0; c < int(NumClasses); c++ {
+		ll[c] = m.logLikelihood(Class(c), f)
+		if ll[c] > bestLL {
+			best, bestLL = Class(c), ll[c]
+		}
+	}
+	var sum float64
+	for c := 0; c < int(NumClasses); c++ {
+		sum += math.Exp(ll[c] - bestLL)
+	}
+	return best, 1 / sum
+}
+
+// WindowClass is one classified time window of a streaming run.
+type WindowClass struct {
+	Start      uint64
+	End        uint64
+	Class      Class
+	Confidence float64
+	Bytes      uint64
+}
+
+// Online classifies a stream of closed communication windows, tracking the
+// current pattern, detected transitions, per-class window counts, and the
+// last few classified windows. It is safe for concurrent use (the window
+// stream is serialized by the caller's closer, but readers — /progress
+// snapshots, metric gauges — race with it).
+type Online struct {
+	c    Classifier
+	keep int
+
+	mu          sync.Mutex
+	current     WindowClass
+	hasCurrent  bool
+	recent      []WindowClass
+	counts      [NumClasses]uint64
+	windows     uint64
+	transitions uint64
+}
+
+// NewOnline builds a streaming classifier that retains the last keep
+// classified windows (keep <= 0 retains none).
+func NewOnline(c Classifier, keep int) *Online {
+	if keep < 0 {
+		keep = 0
+	}
+	return &Online{c: c, keep: keep}
+}
+
+// Observe classifies one closed window and returns its classification plus
+// whether it begins a new phase (the class differs from the previous
+// window's). Empty windows are classified like any other — an all-zero
+// matrix is itself a signal (no communication).
+func (o *Online) Observe(start, end uint64, m *comm.Matrix) (WindowClass, bool) {
+	class, conf := ClassifyMatrixWithConfidence(o.c, m)
+	wc := WindowClass{Start: start, End: end, Class: class, Confidence: conf, Bytes: m.Total()}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	transition := o.hasCurrent && o.current.Class != class
+	o.current = wc
+	o.hasCurrent = true
+	o.windows++
+	o.counts[class]++
+	if transition {
+		o.transitions++
+	}
+	if o.keep > 0 {
+		o.recent = append(o.recent, wc)
+		if len(o.recent) > o.keep {
+			o.recent = o.recent[len(o.recent)-o.keep:]
+		}
+	}
+	return wc, transition
+}
+
+// Current returns the latest classified window, if any.
+func (o *Online) Current() (WindowClass, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.current, o.hasCurrent
+}
+
+// Recent returns the last classified windows, oldest first.
+func (o *Online) Recent() []WindowClass {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]WindowClass, len(o.recent))
+	copy(out, o.recent)
+	return out
+}
+
+// Windows returns the number of windows classified so far.
+func (o *Online) Windows() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.windows
+}
+
+// Transitions returns the number of class changes observed so far.
+func (o *Online) Transitions() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.transitions
+}
+
+// ClassCounts returns the number of windows classified into each class.
+func (o *Online) ClassCounts() [NumClasses]uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.counts
+}

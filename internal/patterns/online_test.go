@@ -1,0 +1,149 @@
+package patterns
+
+import (
+	"math/rand"
+	"testing"
+
+	"commprof/internal/comm"
+)
+
+func trainedKNN(t *testing.T, rng *rand.Rand) *KNN {
+	t.Helper()
+	knn, err := NewKNN(5, Corpus(40, []int{8, 16}, 0, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return knn
+}
+
+// TestPredictWithConfidenceAgrees pins that the confidence-bearing entry
+// points return exactly the class Predict would, with a confidence in (0,1].
+func TestPredictWithConfidenceAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := Corpus(40, []int{8, 16}, 0, rng)
+	knn, err := NewKNN(5, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := NewNaiveBayes(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := Corpus(10, []int{8, 16}, 0.02, rng)
+	for _, c := range []ConfidenceClassifier{knn, nb} {
+		for _, s := range test {
+			class, conf := c.PredictWithConfidence(s.Features)
+			if class != c.Predict(s.Features) {
+				t.Fatalf("%s: PredictWithConfidence class differs from Predict", c.Name())
+			}
+			if conf <= 0 || conf > 1 {
+				t.Fatalf("%s: confidence %v outside (0,1]", c.Name(), conf)
+			}
+		}
+	}
+}
+
+// TestKNNConfidenceIsVoteShare checks the KNN confidence is quantized to
+// vote fractions of k.
+func TestKNNConfidenceIsVoteShare(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	knn := trainedKNN(t, rng)
+	for _, s := range Corpus(5, []int{8}, 0.05, rng) {
+		_, conf := knn.PredictWithConfidence(s.Features)
+		votes := conf * 5
+		if diff := votes - float64(int(votes+0.5)); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("confidence %v is not a multiple of 1/k", conf)
+		}
+	}
+}
+
+// TestClassifyMatrixWithConfidenceFallback pins the confidence-less
+// classifier path: same class as ClassifyMatrix, confidence exactly 1.
+func TestClassifyMatrixWithConfidenceFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := Generate(Pipeline, 8, rng)
+	class, conf := ClassifyMatrixWithConfidence(RuleBased{}, m)
+	if class != ClassifyMatrix(RuleBased{}, m) {
+		t.Fatal("fallback class differs from ClassifyMatrix")
+	}
+	if conf != 1 {
+		t.Fatalf("fallback confidence %v, want 1", conf)
+	}
+}
+
+// TestOnlineStream drives the streaming classifier over generated windows
+// with a forced class change and checks current/recent/transition tracking.
+func TestOnlineStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	knn := trainedKNN(t, rng)
+	o := NewOnline(knn, 3)
+
+	// Phase 1: three pipeline windows; phase 2: three master-worker windows.
+	var lastClass Class
+	for i := 0; i < 6; i++ {
+		gen := Pipeline
+		if i >= 3 {
+			gen = MasterWorker
+		}
+		m := Generate(gen, 16, rng)
+		start := uint64(i) * 100
+		wc, transition := o.Observe(start, start+100, m)
+		if wc.Start != start || wc.End != start+100 {
+			t.Fatalf("window %d bounds [%d,%d)", i, wc.Start, wc.End)
+		}
+		if wc.Bytes != m.Total() {
+			t.Fatalf("window %d bytes %d, want %d", i, wc.Bytes, m.Total())
+		}
+		if i == 0 && transition {
+			t.Fatal("first window must not be a transition")
+		}
+		if i > 0 && transition != (wc.Class != lastClass) {
+			t.Fatalf("window %d transition=%v with class %v after %v", i, transition, wc.Class, lastClass)
+		}
+		lastClass = wc.Class
+	}
+
+	cur, ok := o.Current()
+	if !ok || cur.Start != 500 {
+		t.Fatalf("Current() = %+v, %v; want last window", cur, ok)
+	}
+	recent := o.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("Recent() kept %d windows, want 3", len(recent))
+	}
+	if recent[0].Start != 300 || recent[2].Start != 500 {
+		t.Fatalf("Recent() window starts %d..%d, want 300..500", recent[0].Start, recent[2].Start)
+	}
+	if o.Windows() != 6 {
+		t.Fatalf("Windows() = %d, want 6", o.Windows())
+	}
+	var total uint64
+	for _, n := range o.ClassCounts() {
+		total += n
+	}
+	if total != 6 {
+		t.Fatalf("class counts sum to %d, want 6", total)
+	}
+	// The generated corpora are cleanly separable, so the forced class change
+	// at window 3 must register at least one transition.
+	if o.Transitions() == 0 {
+		t.Fatal("no transitions observed across a forced pattern change")
+	}
+}
+
+// TestOnlineEmptyWindow pins that an all-zero window classifies without
+// panicking and still counts.
+func TestOnlineEmptyWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	o := NewOnline(trainedKNN(t, rng), 0)
+	wc, _ := o.Observe(0, 100, comm.NewMatrix(8))
+	if wc.Bytes != 0 {
+		t.Fatalf("empty window bytes %d", wc.Bytes)
+	}
+	if o.Windows() != 1 {
+		t.Fatalf("Windows() = %d, want 1", o.Windows())
+	}
+	if got := o.Recent(); len(got) != 0 {
+		t.Fatalf("keep=0 retained %d windows", len(got))
+	}
+}

@@ -142,6 +142,24 @@ type Options struct {
 	// OnEvent, when non-nil, receives every detected dependence. Shard
 	// workers call it concurrently; it must be safe for concurrent use.
 	OnEvent func(detect.Event)
+	// PhaseWindow, when non-zero, makes every shard accumulate time-windowed
+	// communication sub-matrices bucketed by the global access index carried
+	// on each event (window = Time / PhaseWindow). Bucketing by the trace's
+	// own global order means shard workers need no extra synchronization, and
+	// the per-shard partials merge at window close by commutative summation —
+	// the same soundness argument as the shard-partition merge — so the
+	// merged windowed results are bit-identical to a serial
+	// metrics.PhaseSegmenter on exact backends.
+	PhaseWindow uint64
+	// OnWindowClose, when non-nil, receives every completed window exactly
+	// once, in increasing start order, from AdvancePhases and Close. Called
+	// with the closer serialized, so it need not be safe for concurrent use
+	// with itself (but runs on whichever goroutine advances).
+	OnWindowClose func(w *comm.Window, end uint64)
+	// PhaseProbes, when non-nil, receives late-window counts (see
+	// obs.PhaseProbes.LateWindows). Window-close and transition counters are
+	// the OnWindowClose consumer's business.
+	PhaseProbes *obs.PhaseProbes
 	// Probes, when non-nil, receives self-observability telemetry. Nil keeps
 	// the hot path uninstrumented.
 	Probes *obs.PipelineProbes
@@ -235,6 +253,17 @@ type shard struct {
 	// depth mirrors n atomically for lock-free saturation checks and gauges.
 	depth     atomic.Int64
 	processed atomic.Uint64
+
+	// windows accumulates this shard's time-windowed sub-matrices (nil when
+	// Options.PhaseWindow is 0); maxTime is the largest access time the
+	// worker has finished processing, the shard's contribution to the
+	// window-close frontier. evbuf stages detected events between worker
+	// drains — written only from the detector's OnEvent on the worker
+	// goroutine, flushed into windows once per batch so the windowed layer
+	// costs one lock per drain, not one per event.
+	windows *comm.WindowSet
+	evbuf   []comm.WindowEvent
+	maxTime atomic.Uint64
 }
 
 func (s *shard) capacity() int { return len(s.ring) }
@@ -315,6 +344,29 @@ func (s *shard) worker(batch int, p *obs.PipelineProbes, wg *sync.WaitGroup) {
 		s.notFull.Broadcast()
 		s.d.ProcessBatch(scratch[:k])
 		s.processed.Add(uint64(k))
+		if s.windows != nil {
+			if len(s.evbuf) > 0 {
+				s.windows.ObserveBatch(s.evbuf)
+				s.evbuf = s.evbuf[:0]
+			}
+			// Advance this shard's window-close frontier to the largest access
+			// time now fully processed. Deterministic and replay feeds arrive
+			// time-ordered per shard, so every future event on this shard has a
+			// strictly larger time; the engine frontier is the min across
+			// shards.
+			var max uint64
+			for i := 0; i < k; i++ {
+				if scratch[i].Time > max {
+					max = scratch[i].Time
+				}
+			}
+			for {
+				cur := s.maxTime.Load()
+				if max <= cur || s.maxTime.CompareAndSwap(cur, max) {
+					break
+				}
+			}
+		}
 		if p != nil {
 			p.BatchSizes.Observe(uint64(k))
 		}
@@ -338,6 +390,10 @@ type Engine struct {
 	// evaluated against the merged estimate.
 	monitors []*accuracy.Monitor
 	accAlarm accuracy.Alarm
+
+	// phaseCloser merges shard window partials and emits completed windows
+	// (nil when Options.PhaseWindow is 0).
+	phaseCloser *comm.WindowCloser
 
 	// PolicyAuto state: degraded mirrors the current mode, transitions counts
 	// mode switches in both directions, and the mutex guards the stall-rate
@@ -372,6 +428,13 @@ func New(opts Options) (*Engine, error) {
 		}
 	}
 	e := &Engine{opts: opts, shards: make([]*shard, opts.Shards)}
+	if opts.PhaseWindow > 0 {
+		closer, err := comm.NewWindowCloser(opts.Threads, opts.PhaseWindow)
+		if err != nil {
+			return nil, err
+		}
+		e.phaseCloser = closer
+	}
 	if opts.Policy == PolicyDegrade || opts.Policy == PolicyAuto {
 		gate, err := detect.NewGate(opts.Threads, opts.DegradeBurst, opts.DegradePeriod)
 		if err != nil {
@@ -392,9 +455,28 @@ func New(opts Options) (*Engine, error) {
 			}
 			e.monitors = append(e.monitors, mon)
 		}
+		s := &shard{backend: backend, eng: e, ring: make([]trace.Access, opts.QueueCapacity)}
+		onEvent := opts.OnEvent
+		if opts.PhaseWindow > 0 {
+			s.windows, err = comm.NewWindowSet(opts.Threads, opts.PhaseWindow)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: shard %d: %w", i, err)
+			}
+			user := opts.OnEvent
+			onEvent = func(ev detect.Event) {
+				// Worker-goroutine only: stage lock-free, flush per drain.
+				s.evbuf = append(s.evbuf, comm.WindowEvent{
+					Time: ev.Time, Region: ev.Region,
+					Src: ev.Writer, Dst: ev.Reader, Bytes: uint64(ev.Bytes),
+				})
+				if user != nil {
+					user(ev)
+				}
+			}
+		}
 		d, err := detect.New(detect.Options{
 			Threads: opts.Threads, Backend: backend, Table: opts.Table,
-			GranularityBits: opts.GranularityBits, OnEvent: opts.OnEvent,
+			GranularityBits: opts.GranularityBits, OnEvent: onEvent,
 			RedundancyCacheBits: opts.RedundancyCacheBits,
 			Accuracy:            mon,
 			Probes:              opts.DetectProbes,
@@ -402,7 +484,7 @@ func New(opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: shard %d: %w", i, err)
 		}
-		s := &shard{d: d, backend: backend, eng: e, ring: make([]trace.Access, opts.QueueCapacity)}
+		s.d = d
 		s.notEmpty.L = &s.mu
 		s.notFull.L = &s.mu
 		e.shards[i] = s
@@ -657,8 +739,94 @@ func (e *Engine) Close() {
 			s.notFull.Broadcast()
 		}
 		e.wg.Wait()
+		// Workers are quiescent: flush every remaining window partial and
+		// emit the tail of the live window stream.
+		e.advancePhasesAt(^uint64(0))
 		e.closed.Store(true)
 	})
+}
+
+// phaseFrontier is the largest logical time no in-flight access can precede:
+// the minimum over all shards of the largest fully-processed access time. A
+// shard that has processed nothing holds the frontier at 0, so nothing is
+// emitted until every shard has made progress — late emission is impossible
+// in deterministic and replay feeds, whose per-shard arrival order is time
+// order.
+func (e *Engine) phaseFrontier() uint64 {
+	frontier := ^uint64(0)
+	for _, s := range e.shards {
+		if t := s.maxTime.Load(); t < frontier {
+			frontier = t
+		}
+	}
+	return frontier
+}
+
+// advancePhasesAt drains shard window partials below the frontier, merges
+// them, and emits newly completed windows to Options.OnWindowClose in start
+// order. Returns the number of windows emitted; 0 when phases are off.
+func (e *Engine) advancePhasesAt(frontier uint64) int {
+	if e.phaseCloser == nil {
+		return 0
+	}
+	sources := make([]*comm.WindowSet, len(e.shards))
+	for i, s := range e.shards {
+		sources[i] = s.windows
+	}
+	lateBefore := e.phaseCloser.Late()
+	n := e.phaseCloser.Advance(frontier, sources, e.opts.OnWindowClose)
+	if p := e.opts.PhaseProbes; p != nil {
+		if d := e.phaseCloser.Late() - lateBefore; d > 0 {
+			p.LateWindows.Add(d)
+		}
+	}
+	return n
+}
+
+// AdvancePhases closes every communication window now wholly below the
+// engine's frontier, emitting each exactly once, in start order, to
+// Options.OnWindowClose. The live observability sampler drives this
+// periodically; Close runs a final exhaustive advance. Safe from any
+// goroutine while the run is in flight; a no-op when PhaseWindow is 0.
+//
+// In parallel engine mode, clock stamping and enqueueing are not jointly
+// atomic, so a shard's arrival order is not strictly time-ordered and a
+// window partial can surface after its window was emitted. Such partials are
+// merged (the final PhaseWindows set is always complete and exact) but not
+// re-emitted, and are counted by PhaseLateWindows / the LateWindows probe.
+func (e *Engine) AdvancePhases() int {
+	return e.advancePhasesAt(e.phaseFrontier())
+}
+
+// PhaseWindows returns the complete merged set of time-windowed
+// communication sub-matrices. It errors until Close, or when the engine was
+// built without PhaseWindow.
+func (e *Engine) PhaseWindows() (*comm.WindowSet, error) {
+	if e.phaseCloser == nil {
+		return nil, fmt.Errorf("pipeline: PhaseWindow not configured")
+	}
+	if !e.closed.Load() {
+		return nil, fmt.Errorf("pipeline: PhaseWindows before Close")
+	}
+	return e.phaseCloser.Done(), nil
+}
+
+// PhaseWindowsClosed counts windows emitted so far; safe while the run is in
+// flight (0 when phases are off).
+func (e *Engine) PhaseWindowsClosed() uint64 {
+	if e.phaseCloser == nil {
+		return 0
+	}
+	return e.phaseCloser.Closed()
+}
+
+// PhaseLateWindows counts shard window partials that surfaced after their
+// window was emitted live; always 0 in deterministic and replay feeds.
+func (e *Engine) PhaseLateWindows() uint64 {
+	if e.phaseCloser == nil {
+		return 0
+	}
+	return e.phaseCloser.Late()
 }
 
 // merge sums the shard matrices and counters into the standard global /

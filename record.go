@@ -6,6 +6,7 @@ import (
 
 	"commprof/internal/detect"
 	"commprof/internal/exec"
+	"commprof/internal/metrics"
 	"commprof/internal/sig"
 	"commprof/internal/splash"
 	"commprof/internal/trace"
@@ -120,7 +121,11 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 	// A recorded stream is the sharded pipeline's natural input: replay is a
 	// single producer, so per-shard batching applies at full strength.
 	if opts.AnalysisShards > 0 {
-		pe, err := newPipeline(opts, threads, dec.Table(), probes)
+		ps, err := newPhaseState(opts, dec.Table(), tel, probes)
+		if err != nil {
+			return nil, err
+		}
+		pe, err := newPipeline(opts, threads, dec.Table(), probes, ps)
 		if err != nil {
 			return nil, err
 		}
@@ -129,6 +134,7 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 		// Close — a post-run scrape sees the final merged hit rates instead
 		// of unbound zeros.
 		tel.wireRunSharded(nil, pe)
+		ps.wire(pe.AdvancePhases)
 		producer := pe.NewProducer(false)
 		if err := dec.ForEach(func(a trace.Access) error {
 			if err := count(a); err != nil {
@@ -147,6 +153,9 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 			return nil, err
 		}
 		attachAccuracySharded(rep, pe, opts, threads, tel)
+		if err := attachPhasesSharded(rep, pe, ps); err != nil {
+			return nil, err
+		}
 		tel.finishRun(rep, tree)
 		return rep, nil
 	}
@@ -162,16 +171,33 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 		return nil, err
 	}
 	// The replay loop is the cache's and the monitor's single consumer.
-	d, err := detect.New(detect.Options{
+	dopts := detect.Options{
 		Threads: threads, Backend: backend, Table: dec.Table(),
 		RedundancyCacheBits: opts.RedundancyCacheBits,
 		Accuracy:            mon,
 		Probes:              probes.DetectProbes(),
-	})
+	}
+	ps, err := newPhaseState(opts, dec.Table(), tel, probes)
+	if err != nil {
+		return nil, err
+	}
+	var seg *metrics.PhaseSegmenter
+	if ps != nil {
+		seg, err = metrics.NewPhaseSegmenter(threads, opts.PhaseWindow, phaseThreshold)
+		if err != nil {
+			return nil, err
+		}
+		dopts.OnEvent = seg.Observe
+	}
+	d, err := detect.New(dopts)
 	if err != nil {
 		return nil, err
 	}
 	tel.wireRun(nil, d, backend, nil)
+	if seg != nil {
+		onClose := ps.onClose()
+		ps.wire(func() int { return seg.Advance(onClose) })
+	}
 	if err := dec.ForEach(func(a trace.Access) error {
 		if err := count(a); err != nil {
 			return err
@@ -186,6 +212,10 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 		return nil, err
 	}
 	attachAccuracy(rep, d, opts, threads, backend, tel)
+	if seg != nil {
+		seg.Flush(ps.onClose())
+		ps.attach(rep, seg.WindowSet())
+	}
 	tel.finishRun(rep, tree)
 	return rep, nil
 }

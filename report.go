@@ -209,6 +209,14 @@ type AccuracyReport struct {
 	// Wilson interval [FPRLow, FPRHigh].
 	EstimatedFPR    float64
 	FPRLow, FPRHigh float64
+	// DesignEffect quantifies granule-level clustering of false positives:
+	// SigEvents divided by the cluster-robust effective trial count. 1 means
+	// verdicts behave independently; larger values mean false positives
+	// arrive in per-granule bursts and the plain Wilson interval is too
+	// narrow. [FPRLowClustered, FPRHighClustered] is the Wilson interval at
+	// the effective trial count — the honest bracket under clustering.
+	DesignEffect                      float64
+	FPRLowClustered, FPRHighClustered float64
 	// EstimatedWorkingSet extrapolates the run's distinct-granule count from
 	// the sampled slice.
 	EstimatedWorkingSet uint64
@@ -243,6 +251,9 @@ func accuracyReport(est accuracy.Estimate, rec accuracy.Recommendation, shadowBy
 		EstimatedFPR:        est.EstimatedFPR,
 		FPRLow:              est.FPRLow,
 		FPRHigh:             est.FPRHigh,
+		DesignEffect:        est.DesignEffect,
+		FPRLowClustered:     est.FPRLowClustered,
+		FPRHighClustered:    est.FPRHighClustered,
 		EstimatedWorkingSet: est.EstimatedWorkingSet,
 		ShadowBytes:         shadowBytes,
 		CurrentSlots:        rec.CurrentSlots,
@@ -260,6 +271,46 @@ type PhaseReport struct {
 	Matrix     Matrix
 }
 
+// PhaseWindowReport is one classified window of the phase timeline: the
+// fixed-length logical-time bucket, its §VI pattern class, the classifier's
+// confidence and the communicated volume.
+type PhaseWindowReport struct {
+	Start, End uint64
+	Class      string
+	Confidence float64
+	Bytes      uint64
+}
+
+// PhaseTransitionReport marks a whole-program pattern change between two
+// consecutive windows; At is the start of the window that introduced the new
+// class.
+type PhaseTransitionReport struct {
+	At       uint64
+	From, To string
+}
+
+// LoopTimelineReport aggregates one loop region's windowed communication:
+// its summed-matrix pattern class, total volume and the number of windows in
+// which it communicated.
+type LoopTimelineReport struct {
+	Region  string
+	Class   string
+	Bytes   uint64
+	Windows int
+}
+
+// PhaseTimelineReport is the classified phase timeline of a run profiled
+// with Options.PhaseWindow: every window of the run in time order with its
+// live pattern classification, the whole-program pattern transitions, and a
+// per-hot-loop digest. It is a deterministic function of the merged window
+// set, so the serial and sharded analysers produce identical timelines.
+type PhaseTimelineReport struct {
+	WindowSize  uint64
+	Windows     []PhaseWindowReport
+	Transitions []PhaseTransitionReport `json:",omitempty"`
+	Loops       []LoopTimelineReport    `json:",omitempty"`
+}
+
 // Report is the result of one profiling run.
 type Report struct {
 	Workload       string
@@ -275,6 +326,9 @@ type Report struct {
 	Regions        []RegionReport
 	Hotspots       []HotspotReport
 	Phases         []PhaseReport
+	// PhaseTimeline is the classified phase timeline. Nil unless the run used
+	// Options.PhaseWindow.
+	PhaseTimeline *PhaseTimelineReport `json:",omitempty"`
 	// Pipeline describes the sharded analysis engine. Nil unless the run
 	// used Options.AnalysisShards.
 	Pipeline *PipelineReport `json:",omitempty"`
@@ -316,6 +370,10 @@ func (r *Report) Summary() string {
 			uint64(1)<<a.SampleBits, a.SampledAccesses, a.SigEvents,
 			100*a.EstimatedFPR, 100*a.FPRLow, 100*a.FPRHigh, 100*a.TargetFPR,
 			a.RecommendedSlots, float64(a.RecommendedBytes)/1024)
+		if a.DesignEffect > 1 {
+			fmt.Fprintf(&b, "accuracy clustering: design effect %.1f, cluster-robust 95%% CI %.2f–%.2f%%\n",
+				a.DesignEffect, 100*a.FPRLowClustered, 100*a.FPRHighClustered)
+		}
 		if a.Alarm != "" {
 			fmt.Fprintf(&b, "ACCURACY ALARM: %s\n", a.Alarm)
 		}
@@ -335,6 +393,16 @@ func (r *Report) Summary() string {
 		b.WriteString("\nphases:\n")
 		for i, p := range r.Phases {
 			fmt.Fprintf(&b, "%d. t=[%d,%d) volume=%dB\n", i+1, p.Start, p.End, p.Matrix.Total())
+		}
+	}
+	if tl := r.PhaseTimeline; tl != nil {
+		fmt.Fprintf(&b, "\npattern timeline: %d windows of %d, %d transitions\n",
+			len(tl.Windows), tl.WindowSize, len(tl.Transitions))
+		for _, tr := range tl.Transitions {
+			fmt.Fprintf(&b, "  t=%d: %s -> %s\n", tr.At, tr.From, tr.To)
+		}
+		for _, l := range tl.Loops {
+			fmt.Fprintf(&b, "  loop %s: %s, %dB over %d windows\n", l.Region, l.Class, l.Bytes, l.Windows)
 		}
 	}
 	return b.String()

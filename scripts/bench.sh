@@ -17,6 +17,13 @@
 #              BENCH_hotpath.json with ns/access, cache hit rate and the
 #              filtered-vs-unfiltered speedup per workload.
 #
+#   phases     Windowed phase-observability overhead on the sharded pipeline.
+#              Runs the PhaseWindowOverhead benchmarks in internal/pipeline
+#              (windowed layer off vs on, same stream/shards/signature
+#              budget) over the BENCH_APP workload and writes
+#              BENCH_phases.json with ns/access per mode and the relative
+#              overhead. The acceptance budget is <=5% on simlarge.
+#
 #   accuracy   Accuracy-monitor overhead on the detection hot loop. Runs the
 #              ProcessMonitor benchmarks in internal/accuracy (monitor off,
 #              then shadow slices 1/64, 1/8 and 1/1) over the BENCH_APPS
@@ -121,6 +128,38 @@ bench_hotpath() {
 	cat "$out"
 }
 
+bench_phases() {
+	app="${BENCH_APP:-radix}"
+	out="BENCH_phases.json"
+
+	echo "== bench phases: $app/$size (benchtime $benchtime) =="
+	raw=$(BENCH_APP="$app" BENCH_SIZE="$size" go test -run '^$' -bench PhaseWindowOverhead \
+		-benchtime "$benchtime" ./internal/pipeline/)
+	echo "$raw"
+
+	echo "$raw" | awk -v app="$app" -v size="$size" '
+	/^BenchmarkPhaseWindowOverhead/ {
+		# $1 is BenchmarkPhaseWindowOverhead/off or .../on, with a -N
+		# GOMAXPROCS suffix when parallel.
+		ns = ""
+		for (i = 2; i < NF; i++) {
+			if ($(i + 1) == "ns/access") ns = $i
+		}
+		if (ns == "") next
+		if ($1 ~ /\/off/) base = ns
+		else if ($1 ~ /\/on/) win = ns
+	}
+	END {
+		if (base == "" || win == "") exit 1
+		printf "{\n  \"workload\": \"%s\",\n  \"size\": \"%s\",\n", app, size
+		printf "  \"baseline_ns_per_access\": %.1f,\n  \"windowed_ns_per_access\": %.1f,\n", base, win
+		printf "  \"overhead_pct\": %.2f,\n  \"budget_pct\": 5.0\n}\n", 100 * (win - base) / base
+	}' > "$out"
+
+	echo "wrote $out"
+	cat "$out"
+}
+
 bench_accuracy() {
 	apps="${BENCH_APPS:-fft radix}"
 	out="BENCH_accuracy.json"
@@ -173,9 +212,10 @@ bench_accuracy() {
 case "$mode" in
 pipeline) bench_pipeline ;;
 hotpath) bench_hotpath ;;
+phases) bench_phases ;;
 accuracy) bench_accuracy ;;
 *)
-	echo "bench.sh: unknown mode '$mode' (want pipeline, hotpath or accuracy)" >&2
+	echo "bench.sh: unknown mode '$mode' (want pipeline, hotpath, phases or accuracy)" >&2
 	exit 2
 	;;
 esac

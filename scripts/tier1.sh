@@ -26,9 +26,10 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (sig, exec, pipeline, detect, redundancy, accuracy, trace, comm) =="
+echo "== go test -race (sig, exec, pipeline, detect, redundancy, accuracy, trace, comm, patterns, metrics) =="
 go test -race ./internal/sig/... ./internal/exec/... ./internal/pipeline/... ./internal/detect/... \
-	./internal/redundancy/... ./internal/accuracy/... ./internal/trace/... ./internal/comm/...
+	./internal/redundancy/... ./internal/accuracy/... ./internal/trace/... ./internal/comm/... \
+	./internal/patterns/... ./internal/metrics/...
 
 echo "== go test -fuzz smoke (trace codec) =="
 for target in FuzzDecode FuzzDecoder FuzzStreamRoundTrip; do

@@ -50,8 +50,10 @@ func (p ShardPolicy) toInternal() (pipeline.OverloadPolicy, error) {
 }
 
 // newPipeline maps the public Options onto a sharded analysis engine whose
-// shards partition the configured signature slot budget.
-func newPipeline(opts Options, threads int, table *trace.Table, probes *obs.Probes) (*pipeline.Engine, error) {
+// shards partition the configured signature slot budget. ps (nil when
+// PhaseWindow is unset) supplies the windowed phase layer's close callback
+// and probes.
+func newPipeline(opts Options, threads int, table *trace.Table, probes *obs.Probes, ps *phaseState) (*pipeline.Engine, error) {
 	shards := opts.AnalysisShards
 	if shards == 0 {
 		shards = runtime.GOMAXPROCS(0)
@@ -76,6 +78,9 @@ func newPipeline(opts Options, threads int, table *trace.Table, probes *obs.Prob
 		NewBackend:          pipeline.AsymmetricFactory(opts.SignatureSlots, shards, threads, opts.BloomFPRate, probes.SigProbes()),
 		Probes:              probes.PipelineProbes(),
 		DetectProbes:        probes.DetectProbes(),
+		PhaseWindow:         opts.PhaseWindow,
+		OnWindowClose:       ps.onClose(),
+		PhaseProbes:         probes.PhaseProbes(),
 	})
 }
 
@@ -114,10 +119,11 @@ func sampledProbe(inner exec.Probe, threads int, burst, period uint32) (exec.Pro
 // profileSharded is Profile's pipeline-backed analysis path
 // (Options.AnalysisShards > 0).
 func profileSharded(opts Options, prog splash.Program, tel *Telemetry, probes *obs.Probes, setup *obs.SpanHandle) (*Report, error) {
-	if opts.PhaseWindow > 0 {
-		return nil, fmt.Errorf("commprof: PhaseWindow requires the serial analyser (set AnalysisShards to 0): phase segmentation consumes globally ordered events, which shard workers do not provide")
+	ps, err := newPhaseState(opts, prog.Table(), tel, probes)
+	if err != nil {
+		return nil, err
 	}
-	pe, err := newPipeline(opts, opts.Threads, prog.Table(), probes)
+	pe, err := newPipeline(opts, opts.Threads, prog.Table(), probes, ps)
 	if err != nil {
 		return nil, err
 	}
@@ -159,6 +165,7 @@ func profileSharded(opts Options, prog splash.Program, tel *Telemetry, probes *o
 		Probes: probes.EngineProbes(),
 	})
 	tel.wireRunSharded(eng, pe)
+	ps.wire(pe.AdvancePhases)
 	setup.End()
 	run := tel.span("engine-run")
 	stats, err := prog.Run(eng)
@@ -176,9 +183,26 @@ func profileSharded(opts Options, prog splash.Program, tel *Telemetry, probes *o
 		return nil, err
 	}
 	attachAccuracySharded(rep, pe, opts, opts.Threads, tel)
+	if err := attachPhasesSharded(rep, pe, ps); err != nil {
+		return nil, err
+	}
 	rep.SampleFraction = sampleFraction
 	tel.finishRun(rep, tree)
 	return rep, nil
+}
+
+// attachPhasesSharded renders a closed pipeline engine's merged window set
+// into the report's phase sections. A no-op without PhaseWindow.
+func attachPhasesSharded(rep *Report, pe *pipeline.Engine, ps *phaseState) error {
+	if ps == nil {
+		return nil
+	}
+	ws, err := pe.PhaseWindows()
+	if err != nil {
+		return err
+	}
+	ps.attach(rep, ws)
+	return nil
 }
 
 // buildReportSharded drains a closed pipeline engine into the public report
@@ -253,11 +277,16 @@ func ProfileTraceParallel(accesses []Access, regions []Region, threads int, opts
 	}
 	tel := opts.Telemetry
 	probes := tel.probes()
-	pe, err := newPipeline(opts, threads, table, probes)
+	ps, err := newPhaseState(opts, table, tel, probes)
+	if err != nil {
+		return nil, err
+	}
+	pe, err := newPipeline(opts, threads, table, probes, ps)
 	if err != nil {
 		return nil, err
 	}
 	tel.wireRunSharded(nil, pe)
+	ps.wire(pe.AdvancePhases)
 	var gate *detect.Gate
 	sampleFraction := 1.0
 	if opts.SamplePeriod > 0 {
@@ -303,6 +332,9 @@ func ProfileTraceParallel(accesses []Access, regions []Region, threads int, opts
 		return nil, err
 	}
 	attachAccuracySharded(rep, pe, opts, threads, tel)
+	if err := attachPhasesSharded(rep, pe, ps); err != nil {
+		return nil, err
+	}
 	rep.SampleFraction = sampleFraction
 	tel.finishRun(rep, tree)
 	return rep, nil

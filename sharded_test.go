@@ -35,13 +35,6 @@ func TestProfileSharded(t *testing.T) {
 	}
 }
 
-func TestProfileShardedRejectsPhaseWindow(t *testing.T) {
-	_, err := Profile(Options{Workload: "radix", Threads: 8, AnalysisShards: 2, PhaseWindow: 5000})
-	if err == nil {
-		t.Fatal("PhaseWindow + AnalysisShards accepted")
-	}
-}
-
 func TestProfileShardedRejectsBadPolicy(t *testing.T) {
 	_, err := Profile(Options{Workload: "radix", Threads: 8, AnalysisShards: 2, ShardPolicy: "panic"})
 	if err == nil {

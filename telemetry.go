@@ -3,6 +3,7 @@ package commprof
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,7 +11,9 @@ import (
 	"commprof/internal/comm"
 	"commprof/internal/detect"
 	"commprof/internal/exec"
+	"commprof/internal/metrics"
 	"commprof/internal/obs"
+	"commprof/internal/patterns"
 	"commprof/internal/pipeline"
 	"commprof/internal/sig"
 )
@@ -44,6 +47,13 @@ type Telemetry struct {
 	fillSamples []FillSample
 	fillStop    chan struct{}
 	fillDone    chan struct{}
+
+	// Phase-sampler state: the periodic goroutine that advances the windowed
+	// phase layer so windows close (and the live pattern surfaces update)
+	// while the run is in flight (see startPhaseSampler).
+	phaseMu   sync.Mutex
+	phaseStop chan struct{}
+	phaseDone chan struct{}
 }
 
 // fillSampleInterval is the signature-saturation probe cadence. FillRatio
@@ -129,6 +139,56 @@ func (t *Telemetry) stopFillSampler() {
 	}
 }
 
+// startPhaseSampler begins the periodic phase advance for one run: each tick
+// calls advance (the serial segmenter's Advance or the pipeline engine's
+// AdvancePhases), which drains every window wholly below the run's progress
+// frontier and emits it to the live classification layer. Window closing is
+// exactly-once and in order regardless of tick timing — the sampler only
+// controls how promptly a completed window surfaces, the analyser's final
+// flush closes whatever remains — so the end-of-run counters are
+// tick-independent. Any previous run's sampler is stopped first.
+func (t *Telemetry) startPhaseSampler(advance func() int) {
+	if t == nil || advance == nil {
+		return
+	}
+	t.stopPhaseSampler()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	t.phaseMu.Lock()
+	t.phaseStop, t.phaseDone = stop, done
+	t.phaseMu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(fillSampleInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				advance()
+			}
+		}
+	}()
+}
+
+// stopPhaseSampler stops the periodic phase advance, waiting for the
+// goroutine to exit. Idempotent and nil-safe; finishRun and Close both call
+// it.
+func (t *Telemetry) stopPhaseSampler() {
+	if t == nil {
+		return
+	}
+	t.phaseMu.Lock()
+	stop, done := t.phaseStop, t.phaseDone
+	t.phaseStop, t.phaseDone = nil, nil
+	t.phaseMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
 // fillTrajectory snapshots the recorded saturation trajectory.
 func (t *Telemetry) fillTrajectory() []FillSample {
 	if t == nil {
@@ -193,6 +253,7 @@ func (t *Telemetry) Close() error {
 		return nil
 	}
 	t.stopFillSampler()
+	t.stopPhaseSampler()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.server == nil {
@@ -249,11 +310,44 @@ type ProgressSnapshot struct {
 	AccuracyEstimatedFPR float64 `json:"accuracy_estimated_fpr"`
 	AccuracyFPRLow       float64 `json:"accuracy_fpr_low"`
 	AccuracyFPRHigh      float64 `json:"accuracy_fpr_high"`
+	// AccuracyDesignEffect measures granule-level clustering of the false
+	// positives (1 = independent verdicts); the clustered bounds widen the
+	// Wilson interval by that factor's worth of lost trials.
+	AccuracyDesignEffect     float64 `json:"accuracy_design_effect,omitempty"`
+	AccuracyFPRLowClustered  float64 `json:"accuracy_fpr_low_clustered,omitempty"`
+	AccuracyFPRHighClustered float64 `json:"accuracy_fpr_high_clustered,omitempty"`
 	// AccuracyAlarm is the warn-once saturation message, "" while healthy.
 	AccuracyAlarm string `json:"accuracy_alarm,omitempty"`
+	// CurrentPattern is the live whole-program pattern class of the most
+	// recently closed phase window ("" before the first window closes), with
+	// CurrentPatternConfidence its classifier confidence. Present only when
+	// the run uses Options.PhaseWindow with telemetry.
+	CurrentPattern           string  `json:"current_pattern,omitempty"`
+	CurrentPatternConfidence float64 `json:"current_pattern_confidence,omitempty"`
+	// PhaseWindowsClosed / PhaseTransitions count closed phase windows and
+	// whole-program pattern changes so far.
+	PhaseWindowsClosed uint64 `json:"phase_windows_closed,omitempty"`
+	PhaseTransitions   uint64 `json:"phase_transitions,omitempty"`
+	// RecentWindowClasses is the pattern class of the last few closed
+	// windows, oldest first.
+	RecentWindowClasses []string `json:"recent_window_classes,omitempty"`
+	// LoopPatterns is the live classification of the hottest communicating
+	// loops, hottest first.
+	LoopPatterns []LoopPatternStatus `json:"loop_patterns,omitempty"`
 	// FillTrajectory is the sampled course of the signature's bloom fill
 	// ratio over the run so far (the periodic sig_fill_ratio probe).
 	FillTrajectory []FillSample `json:"fill_trajectory,omitempty"`
+}
+
+// LoopPatternStatus is one hot loop's live pattern classification in a
+// ProgressSnapshot: its latest closed-window class and the communication it
+// has accumulated so far.
+type LoopPatternStatus struct {
+	Region     string  `json:"region"`
+	Class      string  `json:"class"`
+	Confidence float64 `json:"confidence"`
+	Bytes      uint64  `json:"bytes"`
+	Windows    uint64  `json:"windows"`
 }
 
 // Progress returns a point-in-time snapshot of the current (or last) run.
@@ -407,6 +501,8 @@ func (t *Telemetry) wireRun(eng *exec.Engine, d *detect.Detector, backend *sig.A
 			snap.AccuracySampled = est.SampledAccesses
 			snap.AccuracyEstimatedFPR = est.EstimatedFPR
 			snap.AccuracyFPRLow, snap.AccuracyFPRHigh = est.FPRLow, est.FPRHigh
+			snap.AccuracyDesignEffect = est.DesignEffect
+			snap.AccuracyFPRLowClustered, snap.AccuracyFPRHighClustered = est.FPRLowClustered, est.FPRHighClustered
 			snap.AccuracyAlarm, _ = mon.Alarm()
 		}
 		return snap
@@ -507,10 +603,71 @@ func (t *Telemetry) wireRunSharded(eng *exec.Engine, pe *pipeline.Engine) {
 			snap.AccuracySampled = est.SampledAccesses
 			snap.AccuracyEstimatedFPR = est.EstimatedFPR
 			snap.AccuracyFPRLow, snap.AccuracyFPRHigh = est.FPRLow, est.FPRHigh
+			snap.AccuracyDesignEffect = est.DesignEffect
+			snap.AccuracyFPRLowClustered, snap.AccuracyFPRHighClustered = est.FPRLowClustered, est.FPRHighClustered
 			snap.AccuracyAlarm, _ = pe.AccuracyAlarm()
 		}
 		return snap
 	})
+}
+
+// wirePhases binds the live phase-observability surfaces to one run: the
+// current-pattern gauges, per-class closed-window gauges, the /progress phase
+// fields (wrapping the base snapshot wireRun/wireRunSharded stored), and the
+// periodic sampler that drives window closing. Call after wireRun or
+// wireRunSharded. advance closes every window wholly below the run's
+// progress frontier and returns the count emitted.
+func (t *Telemetry) wirePhases(lp *metrics.LivePhases, regionName func(int32) string, advance func() int) {
+	if t == nil || lp == nil {
+		return
+	}
+	reg := t.reg
+	reg.GaugeFunc("comm_current_pattern", func() float64 {
+		cur, ok := lp.Current()
+		if !ok {
+			return -1
+		}
+		return float64(cur.Class)
+	})
+	reg.GaugeFunc("comm_current_pattern_confidence", func() float64 {
+		cur, ok := lp.Current()
+		if !ok {
+			return 0
+		}
+		return cur.Confidence
+	})
+	for c := patterns.Class(0); c < patterns.NumClasses; c++ {
+		c := c
+		name := "comm_pattern_windows_" + strings.ReplaceAll(c.String(), "-", "_")
+		reg.GaugeFunc(name, func() float64 { return float64(lp.ClassCounts()[c]) })
+	}
+	prev, _ := t.progress.Load().(func() ProgressSnapshot)
+	t.progress.Store(func() ProgressSnapshot {
+		var snap ProgressSnapshot
+		if prev != nil {
+			snap = prev()
+		} else {
+			snap.Phase = t.tracer.Current()
+		}
+		s := lp.Snapshot(phaseMaxLoops)
+		snap.PhaseWindowsClosed = s.WindowsClosed
+		snap.PhaseTransitions = s.Transitions
+		if s.HasCurrent {
+			snap.CurrentPattern = s.Current.Class.String()
+			snap.CurrentPatternConfidence = s.Current.Confidence
+		}
+		for _, wc := range s.Recent {
+			snap.RecentWindowClasses = append(snap.RecentWindowClasses, wc.Class.String())
+		}
+		for _, l := range s.Loops {
+			snap.LoopPatterns = append(snap.LoopPatterns, LoopPatternStatus{
+				Region: regionName(l.Region), Class: l.Class.String(),
+				Confidence: l.Confidence, Bytes: l.Bytes, Windows: l.Windows,
+			})
+		}
+		return snap
+	})
+	t.startPhaseSampler(advance)
 }
 
 // finishRun stops the fill sampler, records end-of-run structure gauges and
@@ -520,6 +677,7 @@ func (t *Telemetry) finishRun(rep *Report, tree *comm.Tree) {
 		return
 	}
 	t.stopFillSampler()
+	t.stopPhaseSampler()
 	if tree != nil {
 		t.reg.Gauge("comm_tree_nodes").Set(float64(tree.NodeCount()))
 		t.reg.Gauge("comm_matrix_nnz").Set(float64(tree.Global.NonZeroCells()))
