@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"commprof"
+	"commprof/internal/comm"
+	"commprof/internal/pipeline"
+	"commprof/internal/trace"
+)
+
+// record instruments, builds and runs one testdata program through the real
+// commtrace driver, returning the decoded v2 trace it recorded.
+func record(t *testing.T, name string) (*trace.Table, []trace.Access, int, string) {
+	t.Helper()
+	tracePath := filepath.Join(t.TempDir(), name+".trace")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-pkg", filepath.Join("..", "..", "testdata", name), "-o", tracePath}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("commtrace exited %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dec, err := trace.NewDecoder(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accs []trace.Access
+	if err := dec.ForEach(func(a trace.Access) error {
+		accs = append(accs, a)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return dec.Table(), accs, dec.Threads(), tracePath
+}
+
+// TestEndToEndShardDeterminism drives all three example programs through the
+// full stack — instrument, build, run, record — then replays each recorded
+// trace through the sharded pipeline on exact (collision-free) backends at 1,
+// 2 and 4 shards. The acceptance bar: nonzero cross-goroutine RAW volume and
+// bit-identical global matrices regardless of shard count.
+func TestEndToEndShardDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs instrumented binaries")
+	}
+	for _, name := range []string{"workerpool", "chanpipe", "striped"} {
+		t.Run(name, func(t *testing.T) {
+			table, accs, threads, _ := record(t, name)
+			if threads < 2 {
+				t.Fatalf("trace declares %d goroutines, want >= 2", threads)
+			}
+			if len(accs) == 0 {
+				t.Fatal("no accesses recorded")
+			}
+			var mats []*comm.Matrix
+			for _, shards := range []int{1, 2, 4} {
+				pe, err := pipeline.New(pipeline.Options{
+					Shards: shards, Threads: threads, Table: table,
+					NewBackend: pipeline.PerfectFactory(threads),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pe.ProcessStream(accs)
+				pe.Close()
+				m, err := pe.Global()
+				if err != nil {
+					t.Fatal(err)
+				}
+				mats = append(mats, m)
+			}
+			if mats[0].Total() == 0 {
+				t.Fatal("no cross-goroutine RAW communication detected")
+			}
+			if !mats[0].Equal(mats[1]) || !mats[0].Equal(mats[2]) {
+				t.Fatalf("matrices differ across shard counts:\n1: %v\n2: %v\n4: %v",
+					mats[0].Rows(), mats[1].Rows(), mats[2].Rows())
+			}
+		})
+	}
+}
+
+// TestEndToEndPhaseTimeline pins the remaining acceptance criterion: a real
+// program's recorded trace, replayed with phase windows, yields a classified
+// pattern timeline attributing communication to labeled source regions.
+func TestEndToEndPhaseTimeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs instrumented binaries")
+	}
+	_, _, _, tracePath := record(t, "workerpool")
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := commprof.Replay(f, 0, commprof.Options{AnalysisShards: 2, PhaseWindow: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dependencies == 0 || rep.CommBytes == 0 {
+		t.Fatalf("expected cross-goroutine RAW, got %d deps / %d bytes", rep.Dependencies, rep.CommBytes)
+	}
+	if rep.PhaseTimeline == nil || len(rep.PhaseTimeline.Loops) == 0 {
+		t.Fatal("no classified phase timeline attached")
+	}
+	found := false
+	for _, l := range rep.PhaseTimeline.Loops {
+		if l.Class != "" && l.Bytes > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no loop in the timeline carries a classified pattern: %+v", rep.PhaseTimeline.Loops)
+	}
+	if len(rep.Hotspots) == 0 {
+		t.Fatal("no hotspots in the replayed report")
+	}
+}

@@ -1,0 +1,337 @@
+// Command commtrace profiles a real Go program: it source-instruments a
+// target package with memory-access probes, builds it against the commprof
+// runtime shim, runs it, and feeds the resulting probe stream through the
+// standard analysis backend — the same detector, sharded pipeline, phase
+// windows and reports the simulated workloads use.
+//
+// Usage:
+//
+//	commtrace -pkg ./testdata/workerpool -shards 4 -phases 2000 -heatmap
+//	commtrace -pkg ./prog -o prog.trace          # keep the recorded trace
+//	commtrace -pkg ./prog -mode live             # analyse inside the program
+//	commtrace -pkg ./prog -mode emit -emit ./out # just write the module
+//	commtrace -pkg ./prog -mode check            # instrument + go vet
+//	commtrace -pkg ./prog -mode overhead -runs 5 # probe-cost JSON
+//
+// The default profile mode records the run to a v2 trace file (goroutine
+// count patched in on close) and replays it locally, so every analysis flag
+// works without rebuilding the target.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"commprof"
+	"commprof/internal/instrument"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("commtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		pkg     = fs.String("pkg", "", "directory of the Go main package to instrument (required)")
+		mode    = fs.String("mode", "profile", "profile (record+replay), live (in-process analysis), emit, check or overhead")
+		emitDir = fs.String("emit", "", "write the instrumented module to this directory (implies it is kept)")
+		out     = fs.String("o", "", "keep the recorded trace at this path (profile mode)")
+		root    = fs.String("commprof", "", "commprof repository root for the module replace directive (default: auto-detect)")
+		runs    = fs.Int("runs", 3, "timing repetitions for -mode overhead")
+		threads = fs.Int("threads", 0, "override the goroutine count (0 = the recorded trace's own)")
+
+		shards  = fs.Int("shards", 0, "analysis shards for the parallel pipeline (0 = serial)")
+		phases  = fs.Uint64("phases", 0, "phase window in logical time units (0 = off)")
+		gran    = fs.Uint("granularity", 0, "analysis granularity in address bits (0 = per address, 6 = 64B lines)")
+		slots   = fs.Uint64("sig", 1<<20, "signature slots")
+		fpRate  = fs.Float64("fpr", 0.001, "bloom-filter false-positive rate")
+		redunB  = fs.Uint("redundancy-bits", 0, "redundancy fast-path cache bits (0 = off)")
+		heatmap = fs.Bool("heatmap", false, "print the global matrix heatmap")
+		jsonOut = fs.Bool("json", false, "emit the report as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *pkg == "" {
+		fmt.Fprintln(stderr, "commtrace: -pkg is required")
+		return 2
+	}
+
+	res, err := instrument.Dir(*pkg)
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "commtrace: instrumented package %s: %d probes across %d regions\n",
+		res.PackageName, res.Probes, res.Table.Len())
+
+	repoRoot, err := commprofRoot(*root)
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+
+	moduleDir := *emitDir
+	if moduleDir == "" {
+		tmp, err := os.MkdirTemp("", "commtrace-*")
+		if err != nil {
+			fmt.Fprintln(stderr, "commtrace:", err)
+			return 1
+		}
+		defer os.RemoveAll(tmp)
+		moduleDir = tmp
+	}
+	if err := instrument.WriteModule(res, moduleDir, repoRoot); err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+
+	switch *mode {
+	case "emit":
+		if *emitDir == "" {
+			fmt.Fprintln(stderr, "commtrace: -mode emit requires -emit dir")
+			return 2
+		}
+		fmt.Fprintf(stderr, "commtrace: wrote instrumented module to %s\n", moduleDir)
+		return 0
+	case "check":
+		if msg, err := goTool(moduleDir, "vet", "."); err != nil {
+			fmt.Fprintf(stderr, "commtrace: vet failed:\n%s\n", msg)
+			return 1
+		}
+		fmt.Fprintf(stderr, "commtrace: %s builds and vets clean\n", res.PackageName)
+		return 0
+	case "overhead":
+		return overhead(*pkg, res, moduleDir, repoRoot, *runs, stdout, stderr)
+	case "live", "profile":
+		// handled below
+	default:
+		fmt.Fprintf(stderr, "commtrace: unknown mode %q\n", *mode)
+		return 2
+	}
+
+	bin := filepath.Join(moduleDir, "commtrace-target.bin")
+	if msg, err := goTool(moduleDir, "build", "-o", bin, "."); err != nil {
+		fmt.Fprintf(stderr, "commtrace: build failed:\n%s\n", msg)
+		return 1
+	}
+
+	if *mode == "live" {
+		// The shim analyses in-process at exit; analysis knobs travel by env.
+		env := append(os.Environ(),
+			"COMMPROF_TRACE=",
+			fmt.Sprintf("COMMPROF_SHARDS=%d", *shards),
+			fmt.Sprintf("COMMPROF_PHASES=%d", *phases),
+			fmt.Sprintf("COMMPROF_GRANULARITY=%d", *gran),
+			fmt.Sprintf("COMMPROF_REDUNDANCY_BITS=%d", *redunB),
+			fmt.Sprintf("COMMPROF_SIG=%d", *slots),
+		)
+		if err := runBin(bin, env, stdout, stderr); err != nil {
+			fmt.Fprintln(stderr, "commtrace:", err)
+			return 1
+		}
+		return 0
+	}
+
+	tracePath := *out
+	if tracePath == "" {
+		tracePath = filepath.Join(moduleDir, "run.trace")
+	}
+	env := append(os.Environ(), "COMMPROF_TRACE="+tracePath)
+	if err := runBin(bin, env, stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+
+	opts := commprof.Options{
+		SignatureSlots:  *slots,
+		BloomFPRate:     *fpRate,
+		PhaseWindow:     *phases,
+		GranularityBits: *gran,
+		AnalysisShards:  *shards,
+
+		RedundancyCacheBits: *redunB,
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	defer f.Close()
+	rep, err := commprof.Replay(f, *threads, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "commtrace:", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprint(stdout, rep.Summary())
+	if *heatmap {
+		fmt.Fprintln(stdout, "\nglobal communication matrix:")
+		fmt.Fprint(stdout, rep.Global.Heatmap())
+	}
+	return 0
+}
+
+// commprofRoot resolves the repository directory the emitted module's
+// replace directive points at: the flag value if given, else the nearest
+// ancestor of the working directory whose go.mod declares module commprof.
+func commprofRoot(flagVal string) (string, error) {
+	if flagVal != "" {
+		return filepath.Abs(flagVal)
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		b, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil && strings.HasPrefix(strings.TrimSpace(string(b)), "module commprof") {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("cannot locate the commprof repository from the working directory; pass -commprof <dir>")
+		}
+		dir = parent
+	}
+}
+
+// goTool runs the go command in dir, returning combined output on failure.
+func goTool(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// runBin executes the instrumented binary with the given environment, the
+// program's own output passing through.
+func runBin(bin string, env []string, stdout, stderr io.Writer) error {
+	cmd := exec.Command(bin)
+	cmd.Env = env
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
+	return cmd.Run()
+}
+
+// overhead measures the probe cost: it builds the original package and the
+// instrumented one side by side, times -runs executions of each (recording
+// to a throwaway trace), and prints one JSON object with the medians.
+func overhead(pkgDir string, res *instrument.Result, moduleDir, repoRoot string, runs int, stdout, stderr io.Writer) int {
+	if runs < 1 {
+		runs = 1
+	}
+	baseDir, err := os.MkdirTemp("", "commtrace-base-*")
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	defer os.RemoveAll(baseDir)
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(pkgDir, n))
+		if err != nil {
+			fmt.Fprintln(stderr, "commtrace:", err)
+			return 1
+		}
+		if err := os.WriteFile(filepath.Join(baseDir, n), b, 0o644); err != nil {
+			fmt.Fprintln(stderr, "commtrace:", err)
+			return 1
+		}
+	}
+	gomod := "module commtrace-baseline\n\ngo 1.22\n"
+	if err := os.WriteFile(filepath.Join(baseDir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+
+	baseBin := filepath.Join(baseDir, "base.bin")
+	if msg, err := goTool(baseDir, "build", "-o", baseBin, "."); err != nil {
+		fmt.Fprintf(stderr, "commtrace: baseline build failed:\n%s\n", msg)
+		return 1
+	}
+	instBin := filepath.Join(moduleDir, "inst.bin")
+	if msg, err := goTool(moduleDir, "build", "-o", instBin, "."); err != nil {
+		fmt.Fprintf(stderr, "commtrace: instrumented build failed:\n%s\n", msg)
+		return 1
+	}
+
+	tracePath := filepath.Join(moduleDir, "overhead.trace")
+	time1, err := timeRuns(baseBin, os.Environ(), runs)
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	time2, err := timeRuns(instBin, append(os.Environ(), "COMMPROF_TRACE="+tracePath), runs)
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+
+	ratio := 0.0
+	if time1 > 0 {
+		ratio = float64(time2) / float64(time1)
+	}
+	report := map[string]any{
+		"pkg":             filepath.Base(pkgDir),
+		"runs":            runs,
+		"probes":          res.Probes,
+		"regions":         res.Table.Len(),
+		"baseline_ns":     time1,
+		"instrumented_ns": time2,
+		"overhead_x":      ratio,
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	return 0
+}
+
+// timeRuns executes bin n times and returns the median wall-clock
+// nanoseconds; program output is discarded.
+func timeRuns(bin string, env []string, n int) (int64, error) {
+	times := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(bin)
+		cmd.Env = env
+		cmd.Stdout = io.Discard
+		cmd.Stderr = io.Discard
+		start := time.Now()
+		if err := cmd.Run(); err != nil {
+			return 0, fmt.Errorf("timing %s: %w", filepath.Base(bin), err)
+		}
+		times = append(times, time.Since(start).Nanoseconds())
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2], nil
+}

@@ -373,7 +373,9 @@ func reportFromTree(name string, threads int, tree *comm.Tree, detected, commByt
 	}
 	tree.Walk(func(n *comm.Node, depth int) {
 		rep.Regions = append(rep.Regions, RegionReport{
-			Name:            n.Region.Name,
+			Name:            n.Region.Label(),
+			File:            n.Region.File,
+			Line:            n.Region.Line,
 			Kind:            n.Region.Kind.String(),
 			Depth:           depth,
 			Accesses:        n.Accesses,
@@ -388,7 +390,7 @@ func reportFromTree(name string, threads int, tree *comm.Tree, detected, commByt
 	for _, h := range tree.Hotspots(maxHotspots) {
 		load := metrics.ThreadLoad(h.Node.Cumulative)
 		rep.Hotspots = append(rep.Hotspots, HotspotReport{
-			Region:        h.Node.Region.Name,
+			Region:        h.Node.Region.Label(),
 			Bytes:         h.Bytes,
 			Share:         h.Share,
 			Load:          load,

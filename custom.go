@@ -35,11 +35,35 @@ type Access struct {
 
 // Region declares one static code region for trace profiling. Parent is the
 // index of the enclosing region in the same slice, or -1 for a root. Loop
-// regions are the hotspot granularity.
+// regions are the hotspot granularity. File/Line optionally locate the region
+// in real source (the instrumentation shim fills them); reports then label
+// the region "name file.go:line".
 type Region struct {
 	Name   string
 	Parent int32
 	Loop   bool
+	File   string
+	Line   int
+}
+
+// buildTable converts a public region list into the internal static region
+// table shared by every trace-profiling entry point.
+func buildTable(regions []Region) (*trace.Table, error) {
+	table := trace.NewTable()
+	for _, r := range regions {
+		var id int32
+		if r.Loop {
+			id = table.AddLoop(r.Name, r.Parent)
+		} else {
+			id = table.AddFunc(r.Name, r.Parent)
+		}
+		table.Regions[id].File = r.File
+		table.Regions[id].Line = r.Line
+	}
+	if err := table.Validate(); err != nil {
+		return nil, fmt.Errorf("commprof: invalid region list: %w", err)
+	}
+	return table, nil
 }
 
 // ProfileTrace runs the profiler offline over a recorded access trace.
@@ -48,16 +72,9 @@ func ProfileTrace(accesses []Access, regions []Region, threads int, opts Options
 	if threads <= 0 {
 		return nil, fmt.Errorf("commprof: threads must be positive, got %d", threads)
 	}
-	table := trace.NewTable()
-	for _, r := range regions {
-		if r.Loop {
-			table.AddLoop(r.Name, r.Parent)
-		} else {
-			table.AddFunc(r.Name, r.Parent)
-		}
-	}
-	if err := table.Validate(); err != nil {
-		return nil, fmt.Errorf("commprof: invalid region list: %w", err)
+	table, err := buildTable(regions)
+	if err != nil {
+		return nil, err
 	}
 	tel := opts.Telemetry
 	probes := tel.probes()
@@ -75,6 +92,7 @@ func ProfileTrace(accesses []Access, regions []Region, threads int, opts Options
 	// The replay loop below is the cache's and the monitor's single consumer.
 	dopts := detect.Options{
 		Threads: threads, Backend: backend, Table: table,
+		GranularityBits:     opts.GranularityBits,
 		RedundancyCacheBits: opts.RedundancyCacheBits,
 		Accuracy:            mon,
 		Probes:              probes.DetectProbes(),
@@ -180,16 +198,9 @@ func Run(threads int, regions []Region, body func(*Thread), opts Options) (*Repo
 	if threads <= 0 {
 		return nil, fmt.Errorf("commprof: threads must be positive, got %d", threads)
 	}
-	table := trace.NewTable()
-	for _, r := range regions {
-		if r.Loop {
-			table.AddLoop(r.Name, r.Parent)
-		} else {
-			table.AddFunc(r.Name, r.Parent)
-		}
-	}
-	if err := table.Validate(); err != nil {
-		return nil, fmt.Errorf("commprof: invalid region list: %w", err)
+	table, err := buildTable(regions)
+	if err != nil {
+		return nil, err
 	}
 	tel := opts.Telemetry
 	probes := tel.probes()
@@ -202,7 +213,8 @@ func Run(threads int, regions []Region, body func(*Thread), opts Options) (*Repo
 	}
 	dopts := detect.Options{
 		Threads: threads, Backend: backend, Table: table,
-		Probes: probes.DetectProbes(),
+		GranularityBits: opts.GranularityBits,
+		Probes:          probes.DetectProbes(),
 	}
 	if !opts.Parallel {
 		// Same contract as Profile: the single-consumer cache and accuracy

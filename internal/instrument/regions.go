@@ -1,0 +1,117 @@
+package instrument
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"commprof/internal/trace"
+)
+
+// assignRegions gives every function declaration, function literal and
+// for/range loop a region UID. UIDs are table indexes assigned in file-name
+// then source-position order, so instrumenting the same package twice yields
+// the identical table — the stability the trace format and golden files rely
+// on. The region tree mirrors lexical nesting: a loop's parent is its
+// enclosing loop or function, a literal's parent is the scope it is written
+// in (even when it later runs on another goroutine).
+func (c *ctx) assignRegions() {
+	for _, f := range c.files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := funcName(fd)
+			id := c.addRegion(name, trace.NoRegion, false, fd.Pos())
+			c.regionOf[fd] = id
+			w := &regionWalker{c: c, root: name}
+			w.walk(fd.Body, id, name)
+		}
+	}
+}
+
+// regionWalker numbers the loops and function literals under one top-level
+// declaration. Literal numbering is a single counter per declaration (like
+// the runtime's F.func1, F.func2, ... naming); loop numbering is also
+// per-declaration so "worker#for2" reads as "the second loop of worker".
+type regionWalker struct {
+	c       *ctx
+	root    string // name of the enclosing FuncDecl
+	loopSeq int
+	litSeq  int
+}
+
+// walk assigns regions beneath n. parent is the innermost enclosing region;
+// enclosing names the function body n belongs to (the FuncDecl or the nearest
+// FuncLit), which prefixes loop region names.
+func (w *regionWalker) walk(n ast.Node, parent int32, enclosing string) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.ForStmt:
+			w.loopSeq++
+			id := w.c.addRegion(fmt.Sprintf("%s#for%d", enclosing, w.loopSeq), parent, true, v.Pos())
+			w.c.regionOf[v] = id
+			if v.Init != nil {
+				w.walk(v.Init, parent, enclosing)
+			}
+			if v.Cond != nil {
+				w.walk(v.Cond, parent, enclosing)
+			}
+			if v.Post != nil {
+				w.walk(v.Post, parent, enclosing)
+			}
+			w.walk(v.Body, id, enclosing)
+			return false
+		case *ast.RangeStmt:
+			w.loopSeq++
+			id := w.c.addRegion(fmt.Sprintf("%s#range%d", enclosing, w.loopSeq), parent, true, v.Pos())
+			w.c.regionOf[v] = id
+			w.walk(v.X, parent, enclosing)
+			w.walk(v.Body, id, enclosing)
+			return false
+		case *ast.FuncLit:
+			w.litSeq++
+			name := fmt.Sprintf("%s.func%d", w.root, w.litSeq)
+			id := w.c.addRegion(name, parent, false, v.Pos())
+			w.c.regionOf[v] = id
+			w.walk(v.Body, id, name)
+			return false
+		}
+		return true
+	})
+}
+
+// addRegion appends one region to the table, stamping its source position.
+func (c *ctx) addRegion(name string, parent int32, loop bool, pos token.Pos) int32 {
+	var id int32
+	if loop {
+		id = c.table.AddLoop(name, parent)
+	} else {
+		id = c.table.AddFunc(name, parent)
+	}
+	p := c.fset.Position(pos)
+	c.table.Regions[id].File = p.Filename
+	c.table.Regions[id].Line = p.Line
+	return id
+}
+
+// funcName renders a declaration's region name; methods read "T.m" with the
+// receiver's base type name.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers (T[P]) reduce to the base identifier.
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

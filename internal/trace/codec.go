@@ -18,7 +18,18 @@ type Stream struct {
 const (
 	codecMagic   = 0x43504d54 // "CPMT"
 	codecVersion = 1
-	accessRecLen = 8 + 8 + 4 + 4 + 4 + 1
+	// codecVersion2 extends the v1 layout for real-program recordings: the
+	// header gains a thread-count field after the access count, and each
+	// region entry gains a length-prefixed source file name and a line
+	// number. Both counts may be written as countUnpatched by a streaming
+	// writer that does not know them up front; DynamicEncoder.Close patches
+	// the real values in place, so a sentinel surviving to decode time means
+	// the recording process died before finalizing the trace.
+	codecVersion2 = 2
+	// countUnpatched is the v2 "not yet finalized" sentinel for the access
+	// and thread counts.
+	countUnpatched = 0xFFFFFFFF
+	accessRecLen   = 8 + 8 + 4 + 4 + 4 + 1
 )
 
 // Encode writes the stream in a compact little-endian binary format. It is a

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DynamicEncoder writes a v2 trace stream for producers that do not know the
+// access or thread count up front — the real-program instrumentation shim,
+// which discovers goroutines as they first touch shared memory and records
+// until the program exits. The header is written immediately with both counts
+// set to the unpatched sentinel; Close seeks back and patches the final
+// values in place. A stream whose writer died before Close therefore still
+// carries the sentinel, and NewDecoder rejects it as never finalized instead
+// of decoding a truncated prefix as a complete run.
+//
+// Unlike the v1 Encoder, record writes are unbounded (up to the format's
+// uint32 capacity) and each region's File/Line source position is persisted.
+type DynamicEncoder struct {
+	ws        io.WriteSeeker
+	bw        *bufio.Writer
+	i         uint32
+	maxThread int32 // largest Access.Thread seen; -1 before the first record
+	threads   int   // explicit SetThreads override, 0 = derive from records
+	closed    bool
+	err       error // sticky failure
+}
+
+// v2 header layout: magic, version, region count, access count, thread count.
+const headerLenV2 = 20
+
+// NewDynamicEncoder writes the v2 stream header (with sentinel counts) and
+// region table to ws and returns an encoder accepting any number of Write
+// calls. ws must be seekable so Close can patch the header; a plain file is.
+func NewDynamicEncoder(ws io.WriteSeeker, table *Table) (*DynamicEncoder, error) {
+	if table == nil {
+		return nil, fmt.Errorf("trace: encoder requires a region table")
+	}
+	if err := table.Validate(); err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(ws)
+	hdr := make([]byte, headerLenV2)
+	binary.LittleEndian.PutUint32(hdr[0:], codecMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], codecVersion2)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(table.Len()))
+	binary.LittleEndian.PutUint32(hdr[12:], countUnpatched)
+	binary.LittleEndian.PutUint32(hdr[16:], countUnpatched)
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, r := range table.Regions {
+		var buf [9]byte
+		binary.LittleEndian.PutUint32(buf[0:], uint32(r.ID))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(r.Parent))
+		buf[8] = byte(r.Kind)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: write region: %w", err)
+		}
+		if err := writeString(bw, r.Name); err != nil {
+			return nil, err
+		}
+		if err := writeString(bw, r.File); err != nil {
+			return nil, err
+		}
+		var line [4]byte
+		binary.LittleEndian.PutUint32(line[:], uint32(r.Line))
+		if _, err := bw.Write(line[:]); err != nil {
+			return nil, fmt.Errorf("trace: write region line: %w", err)
+		}
+	}
+	return &DynamicEncoder{ws: ws, bw: bw, maxThread: -1}, nil
+}
+
+// SetThreads declares the final thread count explicitly (e.g. the number of
+// registered goroutines, which may exceed the number that issued accesses).
+// Close patches the larger of this and the derived max(Access.Thread)+1.
+func (e *DynamicEncoder) SetThreads(n int) {
+	if n > e.threads {
+		e.threads = n
+	}
+}
+
+// Write appends one access record.
+func (e *DynamicEncoder) Write(a Access) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed {
+		return fmt.Errorf("trace: write after Close")
+	}
+	if a.Thread < 0 {
+		return fmt.Errorf("trace: access record %d has negative thread %d", e.i+1, a.Thread)
+	}
+	if e.i >= countUnpatched-1 {
+		e.err = fmt.Errorf("trace: access count exceeds the format's capacity (%d records)", uint32(countUnpatched-1))
+		return e.err
+	}
+	var rec [accessRecLen]byte
+	binary.LittleEndian.PutUint64(rec[0:], a.Time)
+	binary.LittleEndian.PutUint64(rec[8:], a.Addr)
+	binary.LittleEndian.PutUint32(rec[16:], a.Size)
+	binary.LittleEndian.PutUint32(rec[20:], uint32(a.Thread))
+	binary.LittleEndian.PutUint32(rec[24:], uint32(a.Region))
+	rec[28] = byte(a.Kind)
+	if _, err := e.bw.Write(rec[:]); err != nil {
+		e.err = fmt.Errorf("trace: write access record %d: %w", e.i+1, err)
+		return e.err
+	}
+	if a.Thread > e.maxThread {
+		e.maxThread = a.Thread
+	}
+	e.i++
+	return nil
+}
+
+// Written returns the number of access records written so far.
+func (e *DynamicEncoder) Written() int { return int(e.i) }
+
+// Close flushes buffered output and patches the header's access and thread
+// counts in place — the step that finalizes the stream. Until it succeeds the
+// header still carries the unpatched sentinel and NewDecoder rejects the
+// stream, which is exactly the safety property a crash mid-recording needs.
+func (e *DynamicEncoder) Close() error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed {
+		return fmt.Errorf("trace: already closed")
+	}
+	e.closed = true
+	if err := e.bw.Flush(); err != nil {
+		e.err = fmt.Errorf("trace: flush: %w", err)
+		return e.err
+	}
+	threads := e.threads
+	if derived := int(e.maxThread) + 1; derived > threads {
+		threads = derived
+	}
+	var counts [8]byte
+	binary.LittleEndian.PutUint32(counts[0:], e.i)
+	binary.LittleEndian.PutUint32(counts[4:], uint32(threads))
+	if _, err := e.ws.Seek(12, io.SeekStart); err != nil {
+		e.err = fmt.Errorf("trace: seek to patch header: %w", err)
+		return e.err
+	}
+	if _, err := e.ws.Write(counts[:]); err != nil {
+		e.err = fmt.Errorf("trace: patch header counts: %w", err)
+		return e.err
+	}
+	if _, err := e.ws.Seek(0, io.SeekEnd); err != nil {
+		e.err = fmt.Errorf("trace: seek back after patch: %w", err)
+		return e.err
+	}
+	return nil
+}

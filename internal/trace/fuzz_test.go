@@ -70,6 +70,19 @@ func FuzzDecoder(f *testing.F) {
 	corrupt := append([]byte(nil), valid...)
 	corrupt[12] ^= 0x40 // access count
 	f.Add(corrupt)
+	// v2 seeds: a finalized real-source stream, a truncation of it, and an
+	// unfinalized header (sentinel counts — must be rejected, not decoded).
+	validV2 := encodeV2(f, sourceTable(), []Access{
+		{Time: 1, Addr: 0x10, Size: 8, Thread: 0, Region: 1, Kind: Write},
+		{Time: 2, Addr: 0x10, Size: 8, Thread: 3, Region: 1, Kind: Read},
+	})
+	f.Add(validV2)
+	f.Add(validV2[:len(validV2)-accessRecLen/2])
+	unfinalized := append([]byte(nil), validV2...)
+	for i := 12; i < 20; i++ {
+		unfinalized[i] = 0xFF
+	}
+	f.Add(unfinalized)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		st, oneErr := Decode(bytes.NewReader(data))

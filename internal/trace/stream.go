@@ -115,14 +115,20 @@ type Decoder struct {
 	// uninstrumented.
 	Probes *obs.TraceProbes
 
-	br    *bufio.Reader
-	table *Table
-	n, i  uint32
-	rec   [accessRecLen]byte // reused record buffer: Next is allocation-free
-	err   error              // sticky failure; io.EOF is not stored here
+	br      *bufio.Reader
+	table   *Table
+	n, i    uint32
+	threads int                // v2 header thread count; 0 for v1 streams
+	rec     [accessRecLen]byte // reused record buffer: Next is allocation-free
+	err     error              // sticky failure; io.EOF is not stored here
 }
 
 // NewDecoder reads and validates the stream header and region table from r.
+// Both format versions are accepted: v1 (fixed counts, no thread count, no
+// region source positions) and v2 (thread count in the header, file:line per
+// region). A v2 stream whose counts still hold the unpatched sentinel was
+// never finalized — the recording process died before DynamicEncoder.Close —
+// and is rejected here rather than silently decoded as empty.
 func NewDecoder(r io.Reader) (*Decoder, error) {
 	br := bufio.NewReader(r)
 	hdr := make([]byte, 16)
@@ -132,14 +138,26 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != codecMagic {
 		return nil, fmt.Errorf("trace: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != codecVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	version := binary.LittleEndian.Uint32(hdr[4:])
+	if version != codecVersion && version != codecVersion2 {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
 	}
 	nRegions := binary.LittleEndian.Uint32(hdr[8:])
 	d := &Decoder{
 		br:    br,
 		table: NewTable(),
 		n:     binary.LittleEndian.Uint32(hdr[12:]),
+	}
+	if version == codecVersion2 {
+		var tc [4]byte
+		if _, err := io.ReadFull(br, tc[:]); err != nil {
+			return nil, fmt.Errorf("trace: read thread count: %w", err)
+		}
+		threads := binary.LittleEndian.Uint32(tc[:])
+		if d.n == countUnpatched || threads == countUnpatched {
+			return nil, fmt.Errorf("trace: stream was never finalized (writer exited before Close; recording truncated?)")
+		}
+		d.threads = int(threads)
 	}
 	for i := uint32(0); i < nRegions; i++ {
 		var buf [9]byte
@@ -150,12 +168,25 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: read region %d name: %w", i, err)
 		}
-		d.table.Regions = append(d.table.Regions, Region{
+		reg := Region{
 			ID:     int32(binary.LittleEndian.Uint32(buf[0:])),
 			Parent: int32(binary.LittleEndian.Uint32(buf[4:])),
 			Kind:   RegionKind(buf[8]),
 			Name:   name,
-		})
+		}
+		if version == codecVersion2 {
+			file, err := readString(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: read region %d file: %w", i, err)
+			}
+			var line [4]byte
+			if _, err := io.ReadFull(br, line[:]); err != nil {
+				return nil, fmt.Errorf("trace: read region %d line: %w", i, err)
+			}
+			reg.File = file
+			reg.Line = int(binary.LittleEndian.Uint32(line[:]))
+		}
+		d.table.Regions = append(d.table.Regions, reg)
 	}
 	if err := d.table.Validate(); err != nil {
 		return nil, err
@@ -165,6 +196,11 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 
 // Table returns the decoded region table.
 func (d *Decoder) Table() *Table { return d.table }
+
+// Threads returns the recorded thread (goroutine) count a v2 stream carries
+// in its header, or 0 for a v1 stream, whose thread count the caller must
+// know out of band.
+func (d *Decoder) Threads() int { return d.threads }
 
 // Len returns the access-record count the header declares.
 func (d *Decoder) Len() int { return int(d.n) }

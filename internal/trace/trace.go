@@ -62,6 +62,22 @@ type Region struct {
 	Parent int32      // enclosing region's ID, or NoRegion for roots
 	Kind   RegionKind // function body or loop
 	Name   string     // function name, or a loop label like "daxpy#1"
+	// File/Line locate the region in real source when the table was built by
+	// the source instrumenter (internal/instrument): the file base name and
+	// the 1-based line of the function or loop keyword. Synthetic workloads
+	// (splash, minipar) leave them zero; the v1 trace codec does not carry
+	// them, the v2 codec does.
+	File string
+	Line int
+}
+
+// Label renders the region for reports: the bare Name for synthetic regions,
+// or "name file.go:line" when the region carries a real source position.
+func (r Region) Label() string {
+	if r.File == "" {
+		return r.Name
+	}
+	return fmt.Sprintf("%s %s:%d", r.Name, r.File, r.Line)
 }
 
 // Access is one instrumented memory operation.

@@ -60,13 +60,14 @@ func (p *phaseState) isLoop(id int32) bool {
 	return p.table.MustRegion(id).Kind == trace.LoopRegion
 }
 
-// regionName resolves a region id for the report and /progress surfaces.
+// regionName resolves a region id for the report and /progress surfaces,
+// including the source position for regions from instrumented real programs.
 func (p *phaseState) regionName(id int32) string {
 	r, err := p.table.Region(id)
 	if err != nil {
 		return fmt.Sprintf("region-%d", id)
 	}
-	return r.Name
+	return r.Label()
 }
 
 // onClose returns the window-close callback that feeds the live layer, with a

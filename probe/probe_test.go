@@ -1,0 +1,90 @@
+package probe
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"unsafe"
+
+	"commprof/internal/trace"
+)
+
+// TestShimRecordsTrace drives the whole shim once (the package state is
+// process-global, like the real instrumented runtime): several goroutines
+// probe shared memory, Shutdown writes a v2 trace, and the decode round-trip
+// checks compact goroutine IDs, the patched counts and the temporal order.
+func TestShimRecordsTrace(t *testing.T) {
+	Register([]Region{
+		{Name: "main", Parent: -1, File: "main.go", Line: 5},
+		{Name: "main#for1", Parent: 0, Loop: true, File: "main.go", Line: 8},
+	})
+	var shared [4]uint64
+	const workers, rounds = 3, 100
+
+	g0 := G()
+	if again := G(); again != g0 {
+		t.Fatal("G() did not return a stable per-goroutine handle")
+	}
+	g0.W(unsafe.Pointer(&shared[0]), 8, 0)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := G()
+			for i := 0; i < rounds; i++ {
+				g.R(unsafe.Pointer(&shared[0]), 8, 1)
+				g.W(unsafe.Pointer(&shared[1+w%3]), 8, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	path := filepath.Join(t.TempDir(), "probe.trace")
+	os.Setenv("COMMPROF_TRACE", path)
+	defer os.Unsetenv("COMMPROF_TRACE")
+	Shutdown()
+	Shutdown() // idempotent
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dec, err := trace.NewDecoder(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Threads() != workers+1 {
+		t.Fatalf("Threads() = %d, want %d", dec.Threads(), workers+1)
+	}
+	want := 1 + workers*rounds*2
+	if dec.Len() != want {
+		t.Fatalf("Len() = %d, want %d", dec.Len(), want)
+	}
+	if dec.Table().Len() != 2 || dec.Table().Regions[1].File != "main.go" {
+		t.Fatalf("region table did not round-trip: %+v", dec.Table().Regions)
+	}
+	var prev uint64
+	seen := map[int32]bool{}
+	if err := dec.ForEach(func(a trace.Access) error {
+		if a.Time <= prev {
+			t.Fatalf("records out of temporal order: %d after %d", a.Time, prev)
+		}
+		prev = a.Time
+		seen[a.Thread] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for id := int32(0); id <= workers; id++ {
+		if !seen[id] {
+			t.Fatalf("compact goroutine ID %d missing from trace (saw %v)", id, seen)
+		}
+	}
+
+	// Probes after Shutdown must be dropped, not crash.
+	g0.W(unsafe.Pointer(&shared[0]), 8, 0)
+}

@@ -48,6 +48,7 @@ func Record(opts Options, w io.Writer) (*Report, error) {
 	// unconditionally.
 	d, err := detect.New(detect.Options{
 		Threads: opts.Threads, Backend: backend, Table: prog.Table(),
+		GranularityBits:     opts.GranularityBits,
 		RedundancyCacheBits: opts.RedundancyCacheBits,
 		Accuracy:            mon,
 		Probes:              probes.DetectProbes(),
@@ -85,7 +86,10 @@ func Record(opts Options, w io.Writer) (*Report, error) {
 
 // Replay runs the profiler offline over a trace previously written by
 // Record. threads must match the recording's thread count (the matrix
-// dimension); it is validated against the trace contents.
+// dimension); it is validated against the trace contents. For a v2 trace —
+// one recorded from a real goroutine program, whose header carries the final
+// goroutine count the shim registered — threads may be 0, meaning "use the
+// count the trace declares".
 //
 // Replay decodes the trace incrementally: the region table is read up front
 // and each access record then flows straight into the analyser, so resident
@@ -95,12 +99,17 @@ func Record(opts Options, w io.Writer) (*Report, error) {
 // after the prefix before it has been analysed.
 func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 	opts.setDefaults()
-	if threads <= 0 {
-		return nil, fmt.Errorf("commprof: threads must be positive, got %d", threads)
+	if threads < 0 {
+		return nil, fmt.Errorf("commprof: threads must be non-negative, got %d", threads)
 	}
 	dec, err := trace.NewDecoder(r)
 	if err != nil {
 		return nil, err
+	}
+	if threads == 0 {
+		if threads = dec.Threads(); threads == 0 {
+			return nil, fmt.Errorf("commprof: threads 0 requires a v2 trace that declares its goroutine count; this trace does not")
+		}
 	}
 	tel := opts.Telemetry
 	probes := tel.probes()
@@ -173,6 +182,7 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 	// The replay loop is the cache's and the monitor's single consumer.
 	dopts := detect.Options{
 		Threads: threads, Backend: backend, Table: dec.Table(),
+		GranularityBits:     opts.GranularityBits,
 		RedundancyCacheBits: opts.RedundancyCacheBits,
 		Accuracy:            mon,
 		Probes:              probes.DetectProbes(),

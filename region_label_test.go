@@ -1,0 +1,62 @@
+package commprof
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegionLabelsFromRealSource pins the satellite contract for instrumented
+// real programs: regions that carry a source position surface in the report
+// as "name file.go:line" — in the region tree, the hotspot ranking and the
+// summary — while synthetic regions keep their bare kernel names.
+func TestRegionLabelsFromRealSource(t *testing.T) {
+	regions := []Region{
+		{Name: "worker", Parent: -1, File: "pool.go", Line: 17},
+		{Name: "worker#for1", Parent: 0, Loop: true, File: "pool.go", Line: 21},
+		{Name: "daxpy#1", Parent: -1, Loop: true}, // synthetic: no position
+	}
+	var accs []Access
+	// Thread 0 writes a block inside the instrumented loop; thread 1 reads it
+	// back, producing cross-thread RAW volume attributed to the loop region.
+	for i := 0; i < 8; i++ {
+		accs = append(accs, Access{Kind: WriteAccess, Addr: 0x1000 + uint64(8*i), Size: 8, Thread: 0, Region: 1, Time: uint64(2 * i)})
+		accs = append(accs, Access{Kind: ReadAccess, Addr: 0x1000 + uint64(8*i), Size: 8, Thread: 1, Region: 1, Time: uint64(2*i + 1)})
+	}
+	rep, err := ProfileTrace(accs, regions, 2, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byName := map[string]RegionReport{}
+	for _, r := range rep.Regions {
+		byName[r.Name] = r
+	}
+	loop, ok := byName["worker#for1 pool.go:21"]
+	if !ok {
+		t.Fatalf("loop region label missing; got regions %v", keys(byName))
+	}
+	if loop.File != "pool.go" || loop.Line != 21 {
+		t.Fatalf("loop region File:Line = %s:%d, want pool.go:21", loop.File, loop.Line)
+	}
+	if _, ok := byName["worker pool.go:17"]; !ok {
+		t.Fatalf("function region label missing; got regions %v", keys(byName))
+	}
+	if _, ok := byName["daxpy#1"]; !ok {
+		t.Fatalf("synthetic region lost its bare name; got regions %v", keys(byName))
+	}
+
+	if len(rep.Hotspots) == 0 || rep.Hotspots[0].Region != "worker#for1 pool.go:21" {
+		t.Fatalf("hotspot label = %v, want the loop's file:line label", rep.Hotspots)
+	}
+	if !strings.Contains(rep.Summary(), "worker#for1 pool.go:21") {
+		t.Fatal("summary does not render the file:line region label")
+	}
+}
+
+func keys(m map[string]RegionReport) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -85,7 +85,14 @@ func (m Matrix) CSV() string {
 // RegionReport is one node of the nested communication structure, in
 // depth-first order.
 type RegionReport struct {
-	Name            string
+	// Name labels the region. Synthetic workloads use bare kernel names
+	// ("daxpy#1"); regions from instrumented real sources append the source
+	// position, e.g. "worker pool.go:42".
+	Name string
+	// File/Line locate the region in real source (instrumented programs
+	// only; empty for synthetic workloads).
+	File            string `json:",omitempty"`
+	Line            int    `json:",omitempty"`
 	Kind            string // "func" or "loop"
 	Depth           int
 	Accesses        uint64

@@ -24,6 +24,14 @@
 #              BENCH_phases.json with ns/access per mode and the relative
 #              overhead. The acceptance budget is <=5% on simlarge.
 #
+#   frontend   Probe overhead of the source-instrumentation frontend. For
+#              each example program under testdata/ it runs
+#              `commtrace -mode overhead`, which builds the program twice
+#              (pristine and instrumented, recording to /dev/null) and
+#              times BENCH_RUNS executions of each, then merges the
+#              per-program JSON into BENCH_frontend.json with the probe
+#              count and wall-clock slowdown per program.
+#
 #   accuracy   Accuracy-monitor overhead on the detection hot loop. Runs the
 #              ProcessMonitor benchmarks in internal/accuracy (monitor off,
 #              then shadow slices 1/64, 1/8 and 1/1) over the BENCH_APPS
@@ -37,6 +45,8 @@
 #   BENCH_SIZE   input size                      (default simlarge)
 #   BENCH_TIME   go test -benchtime              (default 3x)
 #   BENCH_REDUN_BITS  hotpath cache bits         (default 14)
+#   BENCH_RUNS   frontend timing repetitions     (default 5)
+#   BENCH_PROGS  frontend program list           (default "workerpool chanpipe striped")
 # Parallel speedup needs spare cores: with GOMAXPROCS=1 the sharded rows
 # measure queueing overhead and cache-locality gains only. The hotpath mode
 # is single-threaded by construction and unaffected.
@@ -209,13 +219,45 @@ bench_accuracy() {
 	cat "$out"
 }
 
+bench_frontend() {
+	runs="${BENCH_RUNS:-5}"
+	progs="${BENCH_PROGS:-workerpool chanpipe striped}"
+	out="BENCH_frontend.json"
+	tmp=$(mktemp -d)
+	trap 'rm -rf "$tmp"' EXIT
+
+	for prog in $progs; do
+		echo "== bench frontend: $prog (runs $runs) =="
+		go run ./cmd/commtrace -mode overhead -runs "$runs" -pkg "./testdata/$prog" \
+			> "$tmp/$prog.json"
+		cat "$tmp/$prog.json"
+	done
+
+	{
+		printf '{\n  "runs": %s,\n  "rows": [\n' "$runs"
+		sep=""
+		for prog in $progs; do
+			[ -n "$sep" ] && printf ',\n'
+			sep=1
+			# Command substitution strips the encoder's trailing newline, so
+			# the comma join above stays tight.
+			printf '%s' "$(sed 's/^/    /' "$tmp/$prog.json")"
+		done
+		printf '\n  ]\n}\n'
+	} > "$out"
+
+	echo "wrote $out"
+	cat "$out"
+}
+
 case "$mode" in
 pipeline) bench_pipeline ;;
 hotpath) bench_hotpath ;;
 phases) bench_phases ;;
 accuracy) bench_accuracy ;;
+frontend) bench_frontend ;;
 *)
-	echo "bench.sh: unknown mode '$mode' (want pipeline, hotpath, phases or accuracy)" >&2
+	echo "bench.sh: unknown mode '$mode' (want pipeline, hotpath, phases, accuracy or frontend)" >&2
 	exit 2
 	;;
 esac

@@ -4,7 +4,9 @@
 # the packages with lock-free hot paths (signature memory), real concurrency
 # (the parallel engine mode, the sharded analysis pipeline, replay producer
 # staging), blocking queues (the detect queue reproductions) and merge-order
-# algebra (comm), plus a short fuzz smoke over the trace codec.
+# algebra (comm), plus a short fuzz smoke over the trace codec and the
+# source instrumenter, and an instrument+vet check of every example
+# program under testdata/ via the commtrace driver.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,14 +28,20 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (sig, exec, pipeline, detect, redundancy, accuracy, trace, comm, patterns, metrics) =="
+echo "== go test -race (sig, exec, pipeline, detect, redundancy, accuracy, trace, comm, patterns, metrics, instrument) =="
 go test -race ./internal/sig/... ./internal/exec/... ./internal/pipeline/... ./internal/detect/... \
 	./internal/redundancy/... ./internal/accuracy/... ./internal/trace/... ./internal/comm/... \
-	./internal/patterns/... ./internal/metrics/...
+	./internal/patterns/... ./internal/metrics/... ./internal/instrument/...
 
-echo "== go test -fuzz smoke (trace codec) =="
+echo "== commtrace -mode check (instrument + vet every example program) =="
+for pkg in workerpool chanpipe striped; do
+	go run ./cmd/commtrace -mode check -pkg "./testdata/$pkg"
+done
+
+echo "== go test -fuzz smoke (trace codec, instrumenter) =="
 for target in FuzzDecode FuzzDecoder FuzzStreamRoundTrip; do
 	go test -run '^$' -fuzz "^${target}\$" -fuzztime 5s ./internal/trace
 done
+go test -run '^$' -fuzz '^FuzzInstrument$' -fuzztime 5s ./internal/instrument
 
 echo "tier1: OK"

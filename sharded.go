@@ -264,16 +264,9 @@ func ProfileTraceParallel(accesses []Access, regions []Region, threads int, opts
 	if threads <= 0 {
 		return nil, fmt.Errorf("commprof: threads must be positive, got %d", threads)
 	}
-	table := trace.NewTable()
-	for _, r := range regions {
-		if r.Loop {
-			table.AddLoop(r.Name, r.Parent)
-		} else {
-			table.AddFunc(r.Name, r.Parent)
-		}
-	}
-	if err := table.Validate(); err != nil {
-		return nil, fmt.Errorf("commprof: invalid region list: %w", err)
+	table, err := buildTable(regions)
+	if err != nil {
+		return nil, err
 	}
 	tel := opts.Telemetry
 	probes := tel.probes()

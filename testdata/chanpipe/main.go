@@ -1,0 +1,52 @@
+// Package main is a three-stage channel pipeline passing pointers: the
+// producer initializes item fields, the middle stage reads the producer's
+// writes and overwrites one field, and the folder reads both. All shared
+// accesses go through the *item pointers flowing down the channels, so the
+// profile shows the canonical pipeline pattern — RAW volume only between
+// adjacent stage goroutines.
+package main
+
+import "fmt"
+
+type item struct {
+	seq   int64
+	value int64
+}
+
+const n = 200
+
+func produce(out chan<- *item) {
+	for i := 0; i < n; i++ {
+		it := new(item)
+		it.seq = int64(i)
+		it.value = int64(i % 5)
+		out <- it
+	}
+	close(out)
+}
+
+func square(in <-chan *item, out chan<- *item) {
+	for it := range in {
+		it.value = it.value * it.value
+		out <- it
+	}
+	close(out)
+}
+
+func fold(in <-chan *item, done chan<- int64) {
+	var total int64
+	for it := range in {
+		total += it.seq + it.value
+	}
+	done <- total
+}
+
+func main() {
+	a := make(chan *item, 8)
+	b := make(chan *item, 8)
+	done := make(chan int64)
+	go produce(a)
+	go square(a, b)
+	go fold(b, done)
+	fmt.Println("total:", <-done)
+}

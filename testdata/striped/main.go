@@ -1,0 +1,40 @@
+// Package main increments per-goroutine counters packed into adjacent words
+// of one shared array. At word granularity the striding phase shows no
+// cross-goroutine communication at all; re-profiling with cache-line
+// granularity (-granularity 6) makes the slots false-share and the matrix
+// light up — the classic false-sharing demonstration. The final fold in main
+// adds genuine worker→main RAW at the end of the run.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+const (
+	stripes = 4
+	rounds  = 400
+)
+
+var counters [stripes]int64
+
+func bump(slot int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for i := 0; i < rounds; i++ {
+		counters[slot]++
+	}
+}
+
+func main() {
+	var wg sync.WaitGroup
+	for s := 0; s < stripes; s++ {
+		wg.Add(1)
+		go bump(s, &wg)
+	}
+	wg.Wait()
+	var total int64
+	for s := 0; s < stripes; s++ {
+		total += counters[s]
+	}
+	fmt.Println("total:", total)
+}

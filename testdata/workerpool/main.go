@@ -1,0 +1,50 @@
+// Package main is a deterministic master/worker pool: the main goroutine
+// fills a shared input array, fixed-stride workers square each element into a
+// shared result array, and main folds the results. Communication is the
+// textbook master-worker shape — RAW flows main→worker on the inputs and
+// worker→main on the results, with no worker↔worker traffic.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+const (
+	workers = 4
+	items   = 256
+)
+
+var (
+	inputs  [items]int64
+	results [items]int64
+)
+
+func fill() {
+	for i := 0; i < items; i++ {
+		inputs[i] = int64(i%7 + 1)
+	}
+}
+
+func worker(id int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for i := id; i < items; i += workers {
+		v := inputs[i]
+		results[i] = v * v
+	}
+}
+
+func main() {
+	fill()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go worker(w, &wg)
+	}
+	wg.Wait()
+	var sum int64
+	for i := 0; i < items; i++ {
+		sum += results[i]
+	}
+	fmt.Println("checksum:", sum)
+}
