@@ -14,6 +14,7 @@
 //	commbench -exp table1          # profiler-property comparison
 //	commbench -exp patterns        # §VI pattern-detection accuracy
 //	commbench -exp eq2             # signature memory model
+//	commbench -exp coalesce        # static probe-coalescing ablation
 //	commbench -exp all
 package main
 
@@ -153,6 +154,13 @@ var runners = map[string]runner{
 		}
 		return r.Render(), nil
 	},
+	"coalesce": func(env experiments.Env) (string, error) {
+		r, err := experiments.Coalesce(env)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
 	"eq2": func(env experiments.Env) (string, error) {
 		var b strings.Builder
 		b.WriteString("Eq. 2 — SigMem(n, t, FPRate) in MB\n")
@@ -182,6 +190,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		threads = fs.Int("threads", 32, "simulated thread count")
 		seed    = fs.Int64("seed", 42, "workload random seed")
 		slots   = fs.Uint64("sig", 1<<20, "signature slots for non-sweep experiments")
+		coal    = fs.Bool("coalesce", true, "statically coalesce redundant probes in MiniPar-pipeline experiments (-coalesce=false disables)")
 		telem   = fs.Bool("telemetry", false, "collect harness self-observability metrics and print a Prometheus-text dump after the run")
 		telAddr = fs.String("telemetry-addr", "", "serve live /metrics, /metrics.json and /progress on this address during the sweep (e.g. :9090, :0 picks a port)")
 	)
@@ -205,6 +214,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	env.Threads = *threads
 	env.Seed = *seed
 	env.SigSlots = *slots
+	env.DisableCoalesce = !*coal
 
 	var (
 		reg    *obs.Registry

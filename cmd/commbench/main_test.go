@@ -19,9 +19,44 @@ func TestListExperiments(t *testing.T) {
 		t.Fatalf("exit %d", code)
 	}
 	for _, want := range []string{"fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8",
-		"fpr", "table1", "patterns", "eq2", "phases", "sampling", "sparse", "throughput"} {
+		"fpr", "table1", "patterns", "eq2", "phases", "sampling", "sparse", "throughput",
+		"coalesce"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("experiment list missing %s", want)
+		}
+	}
+}
+
+func TestCoalesceExperiment(t *testing.T) {
+	code, out, errOut := runCLI(t, "-exp", "coalesce", "-threads", "8")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"fft", "stencil", "reduction", "uncoalesced", "true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("coalesce output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "false") {
+		t.Errorf("a kernel's communication diverged under coalescing:\n%s", out)
+	}
+}
+
+func TestCoalesceExperimentDisabledFlag(t *testing.T) {
+	code, out, errOut := runCLI(t, "-exp", "coalesce", "-threads", "8", "-coalesce=false")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "pass DISABLED") {
+		t.Errorf("disabled run not labelled:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		// kernel elide once emitted elided uncoalesced reduction identical
+		if len(f) == 8 && (f[0] == "fft" || f[0] == "stencil" || f[0] == "reduction") {
+			if f[1] != "0" || f[2] != "0" || f[4] != "0" {
+				t.Errorf("-coalesce=false still elided probes: %s", line)
+			}
 		}
 	}
 }

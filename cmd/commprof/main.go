@@ -48,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel = fs.Bool("parallel", false, "run threads as free goroutines (non-deterministic)")
 		sample   = fs.Uint("sample", 0, "read-sampling period: analyse 1 of every N reads (0 = all)")
 		gran     = fs.Uint("granularity", 0, "analysis granularity in address bits (0 = per address, 6 = 64B lines)")
+		coalesce = fs.Bool("coalesce", true, "statically coalesce provably redundant probes before execution (MiniPar pipeline; -coalesce=false disables)")
 		shards   = fs.Int("shards", 0, "analysis shards for the parallel pipeline (0 = serial in-thread analysis)")
 		shardQ   = fs.Int("shard-queue", 0, "per-shard bounded queue capacity in accesses (0 = default 8192)")
 		shardB   = fs.Int("shard-batch", 0, "producer staging batch / worker drain limit in accesses (0 = default 256)")
@@ -95,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Parallel:        *parallel,
 		GranularityBits: *gran,
 		AnalysisShards:  *shards,
+		DisableCoalesce: !*coalesce,
 
 		RedundancyCacheBits: *redunB,
 	}

@@ -49,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		root    = fs.String("commprof", "", "commprof repository root for the module replace directive (default: auto-detect)")
 		runs    = fs.Int("runs", 3, "timing repetitions for -mode overhead")
 		threads = fs.Int("threads", 0, "override the goroutine count (0 = the recorded trace's own)")
+		coal    = fs.Bool("coalesce", true, "statically coalesce provably redundant probes during instrumentation (-coalesce=false disables)")
 
 		shards  = fs.Int("shards", 0, "analysis shards for the parallel pipeline (0 = serial)")
 		phases  = fs.Uint64("phases", 0, "phase window in logical time units (0 = off)")
@@ -67,13 +68,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	res, err := instrument.Dir(*pkg)
+	res, err := instrument.DirOpts(*pkg, instrument.Options{DisableCoalesce: !*coal})
 	if err != nil {
 		fmt.Fprintln(stderr, "commtrace:", err)
 		return 1
 	}
-	fmt.Fprintf(stderr, "commtrace: instrumented package %s: %d probes across %d regions\n",
-		res.PackageName, res.Probes, res.Table.Len())
+	fmt.Fprintf(stderr, "commtrace: instrumented package %s: %d probes across %d regions (%d coalesced away)\n",
+		res.PackageName, res.Probes, res.Table.Len(), res.Coalesced)
 
 	repoRoot, err := commprofRoot(*root)
 	if err != nil {
@@ -303,6 +304,7 @@ func overhead(pkgDir string, res *instrument.Result, moduleDir, repoRoot string,
 		"pkg":             filepath.Base(pkgDir),
 		"runs":            runs,
 		"probes":          res.Probes,
+		"coalesced":       res.Coalesced,
 		"regions":         res.Table.Len(),
 		"baseline_ns":     time1,
 		"instrumented_ns": time2,

@@ -40,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dis     = fs.Bool("dis", false, "print the instrumented IR and exit")
 		heat    = fs.Bool("heatmap", false, "print per-hotspot heatmaps")
 		only    = fs.String("only", "", "comma-separated functions to instrument (default: all)")
+		coal    = fs.Bool("coalesce", true, "statically coalesce provably redundant probes (-coalesce=false disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,7 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			onlySet[strings.TrimSpace(f)] = true
 		}
 	}
-	mod, table, err := passes.Compile(string(src), onlySet)
+	mod, table, cs, err := passes.CompileWith(string(src), passes.Options{Only: onlySet, Coalesce: *coal})
 	if err != nil {
 		fmt.Fprintln(stderr, "minipar:", err)
 		return 1
@@ -101,6 +102,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dstats := d.Stats()
 	fmt.Fprintf(stdout, "\n%d accesses, %d inter-thread RAW deps, %d bytes communicated\n",
 		stats.Accesses, dstats.Detected, dstats.CommBytes)
+	if cs.Elided+cs.Once > 0 {
+		fmt.Fprintf(stdout, "coalescing: %d probe sites elided, %d once-per-loop-entry; %d of %d accesses skipped (%.1f%%)\n",
+			cs.Elided, cs.Once, stats.Elided, stats.Accesses,
+			100*float64(stats.Elided)/float64(stats.Accesses))
+	}
 
 	tree, err := d.Tree()
 	if err != nil {

@@ -90,6 +90,47 @@ func f() { parfor i = 0..8 { A[i] = i; } }
 	}
 }
 
+const redundantProgram = `
+array A[8];
+func main() {
+  x = A[3] * A[3] + A[3];
+  out x;
+}
+`
+
+func TestCoalesceSummaryLine(t *testing.T) {
+	p := writeProgram(t, redundantProgram)
+	code, out, errOut := runCLI(t, "-threads", "2", p)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "coalescing:") || !strings.Contains(out, "probe sites elided") {
+		t.Errorf("coalescing summary missing:\n%s", out)
+	}
+}
+
+func TestCoalesceFlagOff(t *testing.T) {
+	p := writeProgram(t, redundantProgram)
+	code, out, errOut := runCLI(t, "-threads", "2", "-coalesce=false", p)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if strings.Contains(out, "coalescing:") {
+		t.Errorf("-coalesce=false still printed a coalescing summary:\n%s", out)
+	}
+}
+
+func TestCoalesceDisassemblyMark(t *testing.T) {
+	p := writeProgram(t, redundantProgram)
+	code, out, _ := runCLI(t, "-dis", p)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "!probe:elided") {
+		t.Errorf("disassembly missing elided probe marks:\n%s", out)
+	}
+}
+
 func TestCompileError(t *testing.T) {
 	p := writeProgram(t, "func main() { x = ; }")
 	code, _, errOut := runCLI(t, p)

@@ -82,6 +82,19 @@ type Options struct {
 	// signature collisions but merges neighbouring variables (false
 	// sharing appears).
 	GranularityBits uint
+	// DisableCoalesce turns off the static access-coalescing pass on
+	// MiniPar runs (ProfileMiniPar; see internal/passes.Coalesce). The
+	// pass is on by default: probes the compiler proves redundant within a
+	// basic block or simple loop body are elided before the analyser ever
+	// sees them, shrinking every downstream stage while leaving scheduling
+	// and timestamps bit-identical. Elisions are exact under sync-only
+	// scheduling (a quantum no thread exhausts); under the default
+	// preemptive quantum they assume the usual data-race-free/no-false-
+	// sharing discipline between synchronisation points — set this to true
+	// to profile code that races within a scheduling quantum. Ignored by
+	// the bundled SPLASH workloads, which issue accesses directly rather
+	// than through compiled MiniPar IR.
+	DisableCoalesce bool
 	// MaxHotspots caps the number of ranked hotspot loops in the report.
 	// 0 means the default of 10; a negative value lifts the cap entirely.
 	MaxHotspots int

@@ -51,6 +51,7 @@ type Stats struct {
 	Accesses  uint64 // total instrumented accesses
 	Reads     uint64
 	Writes    uint64
+	Elided    uint64 // accesses whose probes static coalescing elided
 	WorkUnits uint64 // simulated computation units
 	Barriers  uint64 // barrier episodes completed
 	Clock     uint64 // final logical time
@@ -214,6 +215,7 @@ func (e *Engine) collectStats() Stats {
 		s.Accesses += t.accesses.Load()
 		s.Reads += t.reads.Load()
 		s.Writes += t.writes.Load()
+		s.Elided += t.elided.Load()
 		s.WorkUnits += t.work.Load()
 	}
 	s.Barriers = e.BarrierEpochs()

@@ -23,6 +23,7 @@ type Thread struct {
 	accesses atomic.Uint64
 	reads    atomic.Uint64
 	writes   atomic.Uint64
+	elided   atomic.Uint64
 	work     atomic.Uint64
 
 	// Deterministic-mode scheduling.
@@ -103,6 +104,34 @@ func (t *Thread) Write(addr uint64, size uint32) {
 	t.writes.Add(1)
 	if p := t.eng.opts.Probe; p != nil {
 		p(trace.Access{Time: now, Addr: addr, Size: size, Thread: t.id, Region: t.currentRegion(), Kind: trace.Write})
+	}
+	t.afterStep(1)
+}
+
+// ReadElided accounts a load whose probe the static coalescing pass elided:
+// the logical clock and the access counters advance exactly as Read's do (so
+// scheduling and timestamps are bit-identical with coalescing off), but no
+// probe fires.
+func (t *Thread) ReadElided(size uint32) {
+	t.eng.clock.Add(1)
+	t.accesses.Add(1)
+	t.reads.Add(1)
+	t.elided.Add(1)
+	if p := t.eng.opts.Probes; p != nil {
+		p.ElidedProbes.Inc()
+	}
+	t.afterStep(1)
+}
+
+// WriteElided accounts a store whose probe the static coalescing pass elided;
+// see ReadElided.
+func (t *Thread) WriteElided(size uint32) {
+	t.eng.clock.Add(1)
+	t.accesses.Add(1)
+	t.writes.Add(1)
+	t.elided.Add(1)
+	if p := t.eng.opts.Probes; p != nil {
+		p.ElidedProbes.Inc()
 	}
 	t.afterStep(1)
 }

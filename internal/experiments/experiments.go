@@ -42,6 +42,12 @@ type Env struct {
 	// /metrics endpoint can watch a long commbench sweep. Nil (the default)
 	// keeps experiment runs uninstrumented.
 	Probes *obs.Probes
+	// DisableCoalesce turns off the static probe-coalescing pass in the
+	// experiments that compile MiniPar programs (the coalesce ablation).
+	// SPLASH workloads issue probes directly and are unaffected. With the
+	// pass forced off the ablation's table degenerates to zero elision on
+	// every row — the commbench -coalesce=false escape hatch made visible.
+	DisableCoalesce bool
 }
 
 // DefaultEnv mirrors the paper's §V configuration where possible.

@@ -133,5 +133,21 @@ func FuzzInstrument(f *testing.F) {
 			t.Skip() // input does not type-check: not our bug
 		}
 		checkInstrumented(t, res)
+
+		// The coalesced rewrite (the default above) must also reconcile with
+		// the raw rewrite: same sources must yield probes+coalesced == raw
+		// probes, and the raw output must parse and type-check too.
+		raw, err := SourceOpts("fuzz.go", []byte(src), Options{DisableCoalesce: true})
+		if err != nil {
+			t.Fatalf("raw rewrite failed where coalesced succeeded: %v", err)
+		}
+		if raw.Coalesced != 0 {
+			t.Fatalf("disabled coalescer still dropped %d probes", raw.Coalesced)
+		}
+		if res.Probes+res.Coalesced != raw.Probes {
+			t.Fatalf("probe accounting broken: %d kept + %d coalesced != %d raw",
+				res.Probes, res.Coalesced, raw.Probes)
+		}
+		checkInstrumented(t, raw)
 	})
 }

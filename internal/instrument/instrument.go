@@ -77,12 +77,22 @@ type Result struct {
 	// Table is the static region table; region UIDs in injected probes are
 	// indexes into it.
 	Table *trace.Table
-	// Probes counts injected R/W calls across the package.
+	// Probes counts injected R/W calls across the package, after coalescing.
 	Probes int
+	// Coalesced counts probe calls the block-local coalescer dropped as
+	// provably redundant (see coalesce.go); zero when the pass is disabled.
+	Coalesced int
 
 	// probeAlias is the collision-free import alias chosen for the shim,
 	// reused by the generated registration file.
 	probeAlias string
+}
+
+// Options configures instrumentation.
+type Options struct {
+	// DisableCoalesce turns off the block-local probe coalescer (coalesce.go).
+	// The pass is on by default, mirroring the MiniPar pipeline's default.
+	DisableCoalesce bool
 }
 
 // Dir loads, type-checks and instruments the single Go package in dir
@@ -90,6 +100,11 @@ type Result struct {
 // library; its own imports are resolved from source, so no build cache or
 // network is needed.
 func Dir(dir string) (*Result, error) {
+	return DirOpts(dir, Options{})
+}
+
+// DirOpts is Dir with explicit instrumentation options.
+func DirOpts(dir string, opts Options) (*Result, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("instrument: %w", err)
@@ -114,7 +129,7 @@ func Dir(dir string) (*Result, error) {
 		}
 		srcs[n] = b
 	}
-	return Sources(srcs)
+	return SourcesOpts(srcs, opts)
 }
 
 // Source instruments a single-file package; the fuzz and unit harnesses feed
@@ -123,9 +138,19 @@ func Source(filename string, src []byte) (*Result, error) {
 	return Sources(map[string][]byte{filename: src})
 }
 
+// SourceOpts is Source with explicit instrumentation options.
+func SourceOpts(filename string, src []byte, opts Options) (*Result, error) {
+	return SourcesOpts(map[string][]byte{filename: src}, opts)
+}
+
 // Sources instruments a package given as base-name → source. File names only
 // label positions and order region assignment; they need not exist on disk.
 func Sources(srcs map[string][]byte) (*Result, error) {
+	return SourcesOpts(srcs, Options{})
+}
+
+// SourcesOpts is Sources with explicit instrumentation options.
+func SourcesOpts(srcs map[string][]byte, opts Options) (*Result, error) {
 	names := make([]string, 0, len(srcs))
 	for n := range srcs {
 		names = append(names, n)
@@ -173,6 +198,7 @@ func Sources(srcs map[string][]byte) (*Result, error) {
 		table:    trace.NewTable(),
 		regionOf: map[ast.Node]int32{},
 		used:     usedIdents(files),
+		coalesce: !opts.DisableCoalesce,
 	}
 	c.handleName = fresh("_cp", c.used)
 	c.probeAlias = fresh("commprobe", c.used)
@@ -197,6 +223,7 @@ func Sources(srcs map[string][]byte) (*Result, error) {
 		Files:       out,
 		Table:       c.table,
 		Probes:      c.probes,
+		Coalesced:   c.coalesced,
 		probeAlias:  c.probeAlias,
 	}, nil
 }
@@ -227,7 +254,10 @@ type ctx struct {
 	probeAlias  string // import alias for commprof/probe
 	unsafeAlias string // import alias for unsafe
 
-	probes int
+	// coalesce enables the block-local probe coalescer (on by default).
+	coalesce  bool
+	probes    int
+	coalesced int
 }
 
 // usedIdents collects every identifier name appearing in the package, the

@@ -7,9 +7,11 @@ import (
 
 // snip instruments a single no-import file and returns the rewritten source;
 // universe-only snippets keep these tests fast (no stdlib type-checking).
+// Coalescing is off here: these tests pin the rewriter's raw placement
+// discipline. coalesce_test.go covers the collapsed form.
 func snip(t *testing.T, src string) (*Result, string) {
 	t.Helper()
-	res, err := Source("snip.go", []byte(src))
+	res, err := SourceOpts("snip.go", []byte(src), Options{DisableCoalesce: true})
 	if err != nil {
 		t.Fatal(err)
 	}

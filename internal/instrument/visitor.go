@@ -105,12 +105,16 @@ type bodyRewriter struct {
 }
 
 // stmts rewrites a statement list, interleaving probe statements before the
-// statements they instrument.
+// statements they instrument, then coalesces block-local redundant probes
+// (see coalesce.go) unless the pass is disabled.
 func (b *bodyRewriter) stmts(list []ast.Stmt, region int32) []ast.Stmt {
 	out := make([]ast.Stmt, 0, len(list))
 	for _, s := range list {
 		out = append(out, b.stmt(s, region)...)
 		out = append(out, s)
+	}
+	if b.c.coalesce {
+		out = b.coalesceList(out)
 	}
 	return out
 }
@@ -183,7 +187,13 @@ func (b *bodyRewriter) stmt(s ast.Stmt, region int32) []ast.Stmt {
 				// the chained if in a block and probe inside it.
 				inner := b.stmt(e, region)
 				if len(inner) > 0 {
-					v.Else = &ast.BlockStmt{List: append(inner, e)}
+					wrapped := append(inner, ast.Stmt(e))
+					if b.c.coalesce {
+						wrapped = b.coalesceList(wrapped)
+					}
+					if len(wrapped) > 1 {
+						v.Else = &ast.BlockStmt{List: wrapped}
+					}
 				}
 			}
 		}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"commprof/internal/exec"
 	"commprof/internal/ir"
@@ -40,6 +41,16 @@ type Runtime struct {
 
 	maxSteps uint64
 	nthreads int
+
+	// regionElided counts elided-probe executions per static region, indexed
+	// by region ID + 1 so trace.NoRegion (-1) lands in slot 0. Atomic so the
+	// parallel engine mode can bump them concurrently.
+	regionElided []atomic.Uint64
+
+	// onceIdx, parallel to mod.Funcs, maps a loop anchor pc (its
+	// OpRegionEnter) to the pcs of the probes anchored there; nil for
+	// functions with no OnceAnchor probes.
+	onceIdx []map[int][]int
 }
 
 // New prepares a runtime for the module: allocates the shared address space
@@ -53,7 +64,47 @@ func New(mod *ir.Module) (*Runtime, error) {
 		r.arrs = append(r.arrs, r.space.Alloc(a.Name, uint64(a.Size), 8))
 		r.values = append(r.values, make([]int64, a.Size))
 	}
+	maxRegion := int32(-1)
+	r.onceIdx = make([]map[int][]int, len(mod.Funcs))
+	for fi := range mod.Funcs {
+		f := &mod.Funcs[fi]
+		if f.RegionID > maxRegion {
+			maxRegion = f.RegionID
+		}
+		for pc, in := range f.Code {
+			if in.Op == ir.OpRegionEnter && int32(in.A) > maxRegion {
+				maxRegion = int32(in.A)
+			}
+			if in.Probed && in.OnceAnchor != 0 {
+				if r.onceIdx[fi] == nil {
+					r.onceIdx[fi] = map[int][]int{}
+				}
+				a := int(in.OnceAnchor)
+				r.onceIdx[fi][a] = append(r.onceIdx[fi][a], pc)
+			}
+		}
+	}
+	r.regionElided = make([]atomic.Uint64, maxRegion+2)
 	return r, nil
+}
+
+// countElided attributes one elided-probe execution to region.
+func (r *Runtime) countElided(region int32) {
+	if i := int(region) + 1; i >= 0 && i < len(r.regionElided) {
+		r.regionElided[i].Add(1)
+	}
+}
+
+// ElidedByRegion returns per-region elided-probe execution counts, keyed by
+// static region ID (only regions with a non-zero count appear).
+func (r *Runtime) ElidedByRegion() map[int32]uint64 {
+	out := map[int32]uint64{}
+	for i := range r.regionElided {
+		if n := r.regionElided[i].Load(); n > 0 {
+			out[int32(i)-1] = n
+		}
+	}
+	return out
 }
 
 // SetMaxSteps overrides the per-thread step budget.
@@ -136,6 +187,11 @@ func (th *thread) call(fi int) {
 
 	f := &th.rt.mod.Funcs[fi]
 	locals := make([]int64, f.NumLocals)
+	// Once-anchored probes fire on their first execution after each pass
+	// through their anchor (the loop header's OpRegionEnter) and are elided
+	// on subsequent iterations; onceFired tracks that per call frame.
+	anchors := th.rt.onceIdx[fi]
+	var onceFired map[int]bool
 	pc := 0
 	for pc < len(f.Code) {
 		if th.stepsLeft == 0 {
@@ -177,7 +233,18 @@ func (th *thread) call(fi int) {
 				th.fail(f, pc, "index %d out of range for %s[%d]", idx, th.rt.mod.Arrays[a].Name, th.rt.mod.Arrays[a].Size)
 			}
 			if in.Probed {
-				th.t.Read(th.rt.arrs[a].Addr(uint64(idx)), 8)
+				if in.Elide || (in.OnceAnchor != 0 && onceFired[pc]) {
+					th.t.ReadElided(8)
+					th.rt.countElided(th.t.Region())
+				} else {
+					if in.OnceAnchor != 0 {
+						if onceFired == nil {
+							onceFired = map[int]bool{}
+						}
+						onceFired[pc] = true
+					}
+					th.t.Read(th.rt.arrs[a].Addr(uint64(idx)), 8)
+				}
 			}
 			th.push(th.rt.values[a][idx])
 		case ir.OpStoreArr:
@@ -188,7 +255,18 @@ func (th *thread) call(fi int) {
 				th.fail(f, pc, "index %d out of range for %s[%d]", idx, th.rt.mod.Arrays[a].Name, th.rt.mod.Arrays[a].Size)
 			}
 			if in.Probed {
-				th.t.Write(th.rt.arrs[a].Addr(uint64(idx)), 8)
+				if in.Elide || (in.OnceAnchor != 0 && onceFired[pc]) {
+					th.t.WriteElided(8)
+					th.rt.countElided(th.t.Region())
+				} else {
+					if in.OnceAnchor != 0 {
+						if onceFired == nil {
+							onceFired = map[int]bool{}
+						}
+						onceFired[pc] = true
+					}
+					th.t.Write(th.rt.arrs[a].Addr(uint64(idx)), 8)
+				}
 			}
 			th.rt.values[a][idx] = val
 		case ir.OpJump:
@@ -213,6 +291,11 @@ func (th *thread) call(fi int) {
 		case ir.OpRet:
 			return
 		case ir.OpRegionEnter:
+			if anchors != nil {
+				for _, p := range anchors[pc] {
+					delete(onceFired, p)
+				}
+			}
 			th.t.EnterRegion(int32(in.A))
 		case ir.OpRegionExit:
 			th.t.ExitRegion()

@@ -121,6 +121,17 @@ type Instr struct {
 	// Probed marks shared-memory instructions the instrumentation pass has
 	// selected; only probed accesses reach the profiler.
 	Probed bool
+	// Elide marks a probed access the coalescing pass proved redundant in
+	// every execution: the runtime still ticks the logical clock and the
+	// access counters (so scheduling is bit-identical), but skips the probe.
+	Elide bool
+	// OnceAnchor, when non-zero, marks a probed access that is redundant on
+	// every loop iteration except the first: the runtime fires the probe the
+	// first time the access executes after the OpRegionEnter at this pc
+	// (the loop header's region marker) and elides subsequent executions.
+	// Zero means unset — a loop RegionEnter can never sit at pc 0, which the
+	// function prologue's region marker occupies.
+	OnceAnchor int32
 	// Line is the source line for diagnostics.
 	Line int
 }
@@ -128,7 +139,12 @@ type Instr struct {
 // String renders the instruction.
 func (i Instr) String() string {
 	p := ""
-	if i.Probed {
+	switch {
+	case i.Probed && i.Elide:
+		p = " !probe:elided"
+	case i.Probed && i.OnceAnchor != 0:
+		p = fmt.Sprintf(" !probe:once@%d", i.OnceAnchor)
+	case i.Probed:
 		p = " !probe"
 	}
 	switch i.Op {

@@ -110,6 +110,10 @@ type EngineProbes struct {
 	BarrierWaits *Counter
 	// LockWaits counts per-thread blocked lock acquisitions.
 	LockWaits *Counter
+	// ElidedProbes counts accesses executed through the elided-tick path:
+	// the static coalescing pass proved their probes redundant, so they
+	// advance the clock and counters but never reach the analysis backend.
+	ElidedProbes *Counter
 }
 
 // Probes bundles every layer's hooks for one profiling run.
@@ -145,6 +149,7 @@ func DefaultProbes(r *Registry) *Probes {
 			QuantumSwitches: r.Counter("exec_quantum_switches_total"),
 			BarrierWaits:    r.Counter("exec_barrier_waits_total"),
 			LockWaits:       r.Counter("exec_lock_waits_total"),
+			ElidedProbes:    r.Counter("exec_elided_probes_total"),
 		},
 		Pipeline: &PipelineProbes{
 			Enqueued:          r.Counter("pipeline_enqueued_total"),

@@ -6,27 +6,50 @@ import (
 	"commprof/internal/trace"
 )
 
+// Options configures CompileWith.
+type Options struct {
+	// Only restricts instrumentation to the named functions; nil instruments
+	// the whole program.
+	Only map[string]bool
+	// Coalesce runs the static access-coalescing pass after instrumentation
+	// (see Coalesce). Compile turns it on; the -coalesce=false escape hatch
+	// on the drivers turns it off.
+	Coalesce bool
+}
+
 // Compile runs the full static pipeline on MiniPar source: parse, loop
 // annotation, constant folding, lowering, instrumentation (of the functions
-// in only, or the whole program when only is nil), and verification. It
-// returns the executable module and the static region table.
+// in only, or the whole program when only is nil), static access coalescing,
+// and verification. It returns the executable module and the static region
+// table.
 func Compile(src string, only map[string]bool) (*ir.Module, *trace.Table, error) {
+	mod, table, _, err := CompileWith(src, Options{Only: only, Coalesce: true})
+	return mod, table, err
+}
+
+// CompileWith is Compile with explicit pass options; it additionally returns
+// the coalescing statistics (zero when the pass is off).
+func CompileWith(src string, opts Options) (*ir.Module, *trace.Table, CoalesceStats, error) {
+	var cs CoalesceStats
 	prog, err := minipar.Parse(src)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, cs, err
 	}
 	table, err := Annotate(prog)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, cs, err
 	}
 	FoldConstants(prog)
 	mod, err := Lower(prog)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, cs, err
 	}
-	Instrument(mod, only)
+	Instrument(mod, opts.Only)
+	if opts.Coalesce {
+		cs = Coalesce(mod)
+	}
 	if err := Verify(mod); err != nil {
-		return nil, nil, err
+		return nil, nil, cs, err
 	}
-	return mod, table, nil
+	return mod, table, cs, nil
 }

@@ -1,0 +1,27 @@
+package passes
+
+import "commprof/internal/trace"
+
+// This file re-exports the coalescing tests' exact runner for the external
+// facade test package (coalesce_facade_test.go), which pins the same
+// differential property through the public commprof API. The kernel corpus
+// itself is exported for real (kernels.go) since the commbench ablation and
+// the bench harness share it.
+
+// KernelRun is the externally visible slice of a miniParRun: the emitted
+// probe stream and the static region table, enough to replay the run through
+// the facade's trace entry points.
+type KernelRun struct {
+	Accesses []trace.Access
+	Table    *trace.Table
+}
+
+// RunKernelExact compiles and executes src under sync-only scheduling on an
+// exact backend (see runExactErr) and returns the captured probe stream.
+func RunKernelExact(src string, threads int, gran uint, coalesce bool) (KernelRun, error) {
+	run, err := runExactErr(src, threads, gran, coalesce, 0)
+	if err != nil {
+		return KernelRun{}, err
+	}
+	return KernelRun{Accesses: run.accesses, Table: run.table}, nil
+}

@@ -2,12 +2,14 @@ package commprof
 
 import (
 	"fmt"
+	"sort"
 
 	"commprof/internal/detect"
 	"commprof/internal/exec"
 	"commprof/internal/interp"
 	"commprof/internal/passes"
 	"commprof/internal/sig"
+	"commprof/internal/trace"
 )
 
 // MiniParOutput is one value a MiniPar program emitted with `out`, in
@@ -47,7 +49,9 @@ func ProfileMiniPar(src string, threads int, onlyFuncs []string, opts Options) (
 			only[f] = true
 		}
 	}
-	mod, table, err := passes.Compile(src, only)
+	mod, table, cs, err := passes.CompileWith(src, passes.Options{
+		Only: only, Coalesce: !opts.DisableCoalesce,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -66,7 +70,8 @@ func ProfileMiniPar(src string, threads int, onlyFuncs []string, opts Options) (
 	}
 	d, err := detect.New(detect.Options{
 		Threads: threads, Backend: backend, Table: table,
-		Probes: probes.DetectProbes(),
+		GranularityBits: opts.GranularityBits,
+		Probes:          probes.DetectProbes(),
 	})
 	if err != nil {
 		return nil, nil, err
@@ -86,10 +91,38 @@ func ProfileMiniPar(src string, threads int, onlyFuncs []string, opts Options) (
 	if err != nil {
 		return nil, nil, err
 	}
+	if !opts.DisableCoalesce {
+		rep.Coalescing = coalescingReport(cs, stats, rt, table)
+	}
 	tel.finishRun(rep, tree)
 	var outs []MiniParOutput
 	for _, o := range rt.Outputs() {
 		outs = append(outs, MiniParOutput{Thread: o.Thread, Value: o.Value})
 	}
 	return rep, outs, nil
+}
+
+// coalescingReport assembles Report.Coalescing from the static pass stats and
+// the runtime's per-region elided counters.
+func coalescingReport(cs passes.CoalesceStats, stats exec.Stats, rt *interp.Runtime, table *trace.Table) *CoalescingReport {
+	rep := &CoalescingReport{
+		StaticElided: cs.Elided,
+		StaticOnce:   cs.Once,
+		Elided:       stats.Elided,
+		Emitted:      stats.Accesses - stats.Elided,
+	}
+	for id, n := range rt.ElidedByRegion() {
+		name := fmt.Sprintf("region#%d", id)
+		if r, err := table.Region(id); err == nil {
+			name = r.Name
+		}
+		rep.Regions = append(rep.Regions, CoalescingRegion{Region: name, Elided: n})
+	}
+	sort.Slice(rep.Regions, func(i, j int) bool {
+		if rep.Regions[i].Elided != rep.Regions[j].Elided {
+			return rep.Regions[i].Elided > rep.Regions[j].Elided
+		}
+		return rep.Regions[i].Region < rep.Regions[j].Region
+	})
+	return rep
 }

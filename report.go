@@ -168,6 +168,38 @@ type RedundancyReport struct {
 	HitRate float64
 }
 
+// CoalescingReport summarises the static access-coalescing pass of a MiniPar
+// run (internal/passes.Coalesce): how many probes the compiler marked, and
+// how many dynamic accesses consequently never reached the analysis backend.
+type CoalescingReport struct {
+	// StaticElided counts probe sites marked redundant on every execution.
+	StaticElided int
+	// StaticOnce counts probe sites marked once-per-loop-entry: they fire on
+	// the first iteration and are elided on the rest.
+	StaticOnce int
+	// Elided counts dynamic accesses that executed through the elided path
+	// (clock and counters ticked, no probe fired).
+	Elided uint64
+	// Emitted counts dynamic accesses whose probes reached the analyser.
+	Emitted uint64
+	// Regions lists per-region elided counts, largest first.
+	Regions []CoalescingRegion
+}
+
+// CoalescingRegion is one region's share of the elided accesses.
+type CoalescingRegion struct {
+	Region string
+	Elided uint64
+}
+
+// ElisionRate is Elided / (Elided + Emitted), the emitted-access reduction.
+func (c *CoalescingReport) ElisionRate() float64 {
+	if total := c.Elided + c.Emitted; total > 0 {
+		return float64(c.Elided) / float64(total)
+	}
+	return 0
+}
+
 func redundancyReport(st redundancy.Stats) *RedundancyReport {
 	return &RedundancyReport{
 		CacheBits: st.Bits,
@@ -343,6 +375,10 @@ type Report struct {
 	// the run used Options.RedundancyCacheBits (and, for the serial
 	// analyser, ran under the deterministic scheduler).
 	Redundancy *RedundancyReport `json:",omitempty"`
+	// Coalescing describes the static access-coalescing pass. Nil except on
+	// MiniPar runs with the pass enabled (the default; see
+	// Options.DisableCoalesce).
+	Coalescing *CoalescingReport `json:",omitempty"`
 	// Accuracy is the online signature-accuracy estimate. Nil unless the run
 	// used Options.AccuracyTargetFPR (and, for the serial analyser, ran
 	// under the deterministic scheduler).
@@ -371,6 +407,13 @@ func (r *Report) Summary() string {
 	if rd := r.Redundancy; rd != nil {
 		fmt.Fprintf(&b, "redundancy fast path: 2^%d entries, %.1f%% of accesses skipped (%d hits, %d misses, %d evictions)\n",
 			rd.CacheBits, 100*rd.HitRate, rd.Hits, rd.Misses, rd.Evictions)
+	}
+	if c := r.Coalescing; c != nil {
+		fmt.Fprintf(&b, "static coalescing: %d+%d probes marked (always+once), %.1f%% of accesses elided (%d of %d)\n",
+			c.StaticElided, c.StaticOnce, 100*c.ElisionRate(), c.Elided, c.Elided+c.Emitted)
+		for _, reg := range c.Regions {
+			fmt.Fprintf(&b, "  %s: %d elided\n", reg.Region, reg.Elided)
+		}
 	}
 	if a := r.Accuracy; a != nil {
 		fmt.Fprintf(&b, "accuracy monitor: 1/%d of granules shadowed (%d accesses, %d sig events), estimated FPR %.2f%% (95%% CI %.2f–%.2f%%), target %.2f%%, recommended slots %d (%.1f KB)\n",

@@ -32,6 +32,19 @@
 #              per-program JSON into BENCH_frontend.json with the probe
 #              count and wall-clock slowdown per program.
 #
+#   coalesce   Static probe-coalescing payoff. Runs the Coalesce benchmarks
+#              in internal/passes over the structured MiniPar kernel corpus
+#              (fft, stencil, reduction — passes.CoalesceKernels), each
+#              compiled with the pass on and off and executed on an exact
+#              backend, and writes BENCH_coalesce.json with the emitted and
+#              elided access counts, the emitted-access reduction and
+#              ns/access per kernel (normalised to the uncoalesced access
+#              count on both sides, so on/off reads as speedup). The
+#              acceptance floor is a >=20% reduction on at least two
+#              kernels. SPLASH workloads issue probes directly and are
+#              untouched by the pass, so this mode measures the MiniPar
+#              pipeline only.
+#
 #   accuracy   Accuracy-monitor overhead on the detection hot loop. Runs the
 #              ProcessMonitor benchmarks in internal/accuracy (monitor off,
 #              then shadow slices 1/64, 1/8 and 1/1) over the BENCH_APPS
@@ -47,6 +60,8 @@
 #   BENCH_REDUN_BITS  hotpath cache bits         (default 14)
 #   BENCH_RUNS   frontend timing repetitions     (default 5)
 #   BENCH_PROGS  frontend program list           (default "workerpool chanpipe striped")
+#   BENCH_COALESCE_TIME  coalesce -benchtime     (default 200x; the kernels
+#                are microsecond-scale, so the global 3x default is too noisy)
 # Parallel speedup needs spare cores: with GOMAXPROCS=1 the sharded rows
 # measure queueing overhead and cache-locality gains only. The hotpath mode
 # is single-threaded by construction and unaffected.
@@ -170,6 +185,49 @@ bench_phases() {
 	cat "$out"
 }
 
+bench_coalesce() {
+	out="BENCH_coalesce.json"
+	ctime="${BENCH_COALESCE_TIME:-200x}"
+
+	echo "== bench coalesce: MiniPar kernel corpus (benchtime $ctime) =="
+	raw=$(go test -run '^$' -bench '^BenchmarkCoalesce$' -benchtime "$ctime" ./internal/passes/)
+	echo "$raw"
+
+	echo "$raw" | awk '
+	/^BenchmarkCoalesce\// {
+		# $1 is BenchmarkCoalesce/<kernel>/<on|off>, with a -N GOMAXPROCS
+		# suffix when parallel.
+		split($1, parts, "/")
+		kernel = parts[2]
+		m = parts[3]; sub(/-[0-9]+$/, "", m)
+		ns = ""; em = ""; el = ""
+		for (i = 2; i < NF; i++) {
+			if ($(i + 1) == "ns/access") ns = $i
+			if ($(i + 1) == "emitted") em = $i
+			if ($(i + 1) == "elided") el = $i
+		}
+		if (ns == "") next
+		if (!(kernel in seen)) { order[nk++] = kernel; seen[kernel] = 1 }
+		nsOf[kernel, m] = ns; emOf[kernel, m] = em; elOf[kernel, m] = el
+	}
+	END {
+		printf "{\n  \"corpus\": \"passes.CoalesceKernels\",\n  \"floor_reduction_pct\": 20.0,\n  \"rows\": [\n"
+		for (i = 0; i < nk; i++) {
+			k = order[i]
+			on = emOf[k, "on"]; off = emOf[k, "off"]
+			if (on == "" || off == "" || off == 0) exit 1
+			red = 100 * (off - on) / off
+			printf "    {\"workload\": \"%s\", \"emitted_on\": %.0f, \"elided\": %.0f, \"emitted_off\": %.0f, \"reduction_pct\": %.1f, \"ns_per_access_on\": %.1f, \"ns_per_access_off\": %.1f, \"speedup\": %.2f}%s\n",
+				k, on, elOf[k, "on"], off, red, nsOf[k, "on"], nsOf[k, "off"],
+				nsOf[k, "off"] / nsOf[k, "on"], (i < nk - 1 ? "," : "")
+		}
+		printf "  ]\n}\n"
+	}' > "$out"
+
+	echo "wrote $out"
+	cat "$out"
+}
+
 bench_accuracy() {
 	apps="${BENCH_APPS:-fft radix}"
 	out="BENCH_accuracy.json"
@@ -254,10 +312,11 @@ case "$mode" in
 pipeline) bench_pipeline ;;
 hotpath) bench_hotpath ;;
 phases) bench_phases ;;
+coalesce) bench_coalesce ;;
 accuracy) bench_accuracy ;;
 frontend) bench_frontend ;;
 *)
-	echo "bench.sh: unknown mode '$mode' (want pipeline, hotpath, phases, accuracy or frontend)" >&2
+	echo "bench.sh: unknown mode '$mode' (want pipeline, hotpath, phases, coalesce, accuracy or frontend)" >&2
 	exit 2
 	;;
 esac

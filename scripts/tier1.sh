@@ -3,10 +3,11 @@
 # Build, formatting, vet, the full test suite, a race-detector pass over
 # the packages with lock-free hot paths (signature memory), real concurrency
 # (the parallel engine mode, the sharded analysis pipeline, replay producer
-# staging), blocking queues (the detect queue reproductions) and merge-order
-# algebra (comm), plus a short fuzz smoke over the trace codec and the
-# source instrumenter, and an instrument+vet check of every example
-# program under testdata/ via the commtrace driver.
+# staging), blocking queues (the detect queue reproductions), merge-order
+# algebra (comm) and the static-coalescing differential wall (passes), plus
+# a short fuzz smoke over the trace codec, the source instrumenter and the
+# coalescing pass, and an instrument+vet check of every example program
+# under testdata/ via the commtrace driver.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,20 +29,21 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (sig, exec, pipeline, detect, redundancy, accuracy, trace, comm, patterns, metrics, instrument) =="
+echo "== go test -race (sig, exec, pipeline, detect, redundancy, accuracy, trace, comm, patterns, metrics, instrument, passes) =="
 go test -race ./internal/sig/... ./internal/exec/... ./internal/pipeline/... ./internal/detect/... \
 	./internal/redundancy/... ./internal/accuracy/... ./internal/trace/... ./internal/comm/... \
-	./internal/patterns/... ./internal/metrics/... ./internal/instrument/...
+	./internal/patterns/... ./internal/metrics/... ./internal/instrument/... ./internal/passes/...
 
 echo "== commtrace -mode check (instrument + vet every example program) =="
 for pkg in workerpool chanpipe striped; do
 	go run ./cmd/commtrace -mode check -pkg "./testdata/$pkg"
 done
 
-echo "== go test -fuzz smoke (trace codec, instrumenter) =="
+echo "== go test -fuzz smoke (trace codec, instrumenter, coalescing pass) =="
 for target in FuzzDecode FuzzDecoder FuzzStreamRoundTrip; do
 	go test -run '^$' -fuzz "^${target}\$" -fuzztime 5s ./internal/trace
 done
 go test -run '^$' -fuzz '^FuzzInstrument$' -fuzztime 5s ./internal/instrument
+go test -run '^$' -fuzz '^FuzzCoalesce$' -fuzztime 5s ./internal/passes
 
 echo "tier1: OK"
