@@ -12,13 +12,20 @@
 //	commtrace -pkg ./prog -mode emit -emit ./out # just write the module
 //	commtrace -pkg ./prog -mode check            # instrument + go vet
 //	commtrace -pkg ./prog -mode overhead -runs 5 # probe-cost JSON
+//	commtrace -mode recode -in old.trace -o new.trace -trace-format 3
+//	commtrace -mode recover -in crashed.trace    # salvage + replay
 //
-// The default profile mode records the run to a v2 trace file (goroutine
-// count patched in on close) and replays it locally, so every analysis flag
-// works without rebuilding the target.
+// The default profile mode records the run to a trace file (compact v3
+// blocks by default, -trace-format 2 for fixed records; goroutine count
+// patched in on close) and replays it locally, so every analysis flag works
+// without rebuilding the target. recode transcodes an existing trace
+// between codec versions; recover salvages the complete prefix of a trace
+// whose writer died before finalizing it, then replays what survived.
+// Neither needs -pkg.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,6 +39,7 @@ import (
 
 	"commprof"
 	"commprof/internal/instrument"
+	"commprof/internal/trace"
 )
 
 func main() {
@@ -42,10 +50,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("commtrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		pkg     = fs.String("pkg", "", "directory of the Go main package to instrument (required)")
-		mode    = fs.String("mode", "profile", "profile (record+replay), live (in-process analysis), emit, check or overhead")
+		pkg     = fs.String("pkg", "", "directory of the Go main package to instrument (required except for -mode recode/recover)")
+		mode    = fs.String("mode", "profile", "profile (record+replay), live (in-process analysis), emit, check, overhead, recode (transcode -in between codec versions) or recover (salvage a truncated -in)")
 		emitDir = fs.String("emit", "", "write the instrumented module to this directory (implies it is kept)")
-		out     = fs.String("o", "", "keep the recorded trace at this path (profile mode)")
+		out     = fs.String("o", "", "keep the recorded (or recoded/recovered) trace at this path")
+		in      = fs.String("in", "", "existing trace file to read (-mode recode/recover)")
+		traceFm = fs.Int("trace-format", 0, "trace codec version to write: 0 = default (v3 compact blocks); profile/recover accept 2 or 3, recode also 1")
 		root    = fs.String("commprof", "", "commprof repository root for the module replace directive (default: auto-detect)")
 		runs    = fs.Int("runs", 3, "timing repetitions for -mode overhead")
 		threads = fs.Int("threads", 0, "override the goroutine count (0 = the recorded trace's own)")
@@ -63,8 +73,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	opts := commprof.Options{
+		SignatureSlots:  *slots,
+		BloomFPRate:     *fpRate,
+		PhaseWindow:     *phases,
+		GranularityBits: *gran,
+		AnalysisShards:  *shards,
+
+		RedundancyCacheBits: *redunB,
+		TraceFormat:         *traceFm,
+	}
+
+	// recode and recover operate on an existing trace; no target package,
+	// instrumentation or build involved.
+	switch *mode {
+	case "recode":
+		return recode(*in, *out, *traceFm, stderr)
+	case "recover":
+		return recoverTrace(*in, *out, *traceFm, *threads, opts, *jsonOut, *heatmap, stdout, stderr)
+	}
+
 	if *pkg == "" {
 		fmt.Fprintln(stderr, "commtrace: -pkg is required")
+		return 2
+	}
+	if *traceFm != 0 && *traceFm != 2 && *traceFm != 3 {
+		fmt.Fprintf(stderr, "commtrace: -trace-format %d: the recording shim writes versions 2 or 3 (v1 is recode-only)\n", *traceFm)
 		return 2
 	}
 
@@ -149,20 +184,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tracePath = filepath.Join(moduleDir, "run.trace")
 	}
 	env := append(os.Environ(), "COMMPROF_TRACE="+tracePath)
+	if *traceFm != 0 {
+		env = append(env, fmt.Sprintf("COMMPROF_TRACE_FORMAT=%d", *traceFm))
+	}
 	if err := runBin(bin, env, stdout, stderr); err != nil {
 		fmt.Fprintln(stderr, "commtrace:", err)
 		return 1
 	}
 
-	opts := commprof.Options{
-		SignatureSlots:  *slots,
-		BloomFPRate:     *fpRate,
-		PhaseWindow:     *phases,
-		GranularityBits: *gran,
-		AnalysisShards:  *shards,
-
-		RedundancyCacheBits: *redunB,
-	}
 	f, err := os.Open(tracePath)
 	if err != nil {
 		fmt.Fprintln(stderr, "commtrace:", err)
@@ -189,6 +218,156 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, rep.Global.Heatmap())
 	}
 	return 0
+}
+
+// recode transcodes an existing trace between codec versions: the input is
+// decoded in full (any version) and re-encoded as version (1, 2 or 3, 0 =
+// default v3). Region source positions and the header thread count do not
+// exist in the v1 layout and are dropped when downgrading.
+func recode(in, out string, version int, stderr io.Writer) int {
+	if in == "" || out == "" {
+		fmt.Fprintln(stderr, "commtrace: -mode recode requires -in and -o")
+		return 2
+	}
+	if version == 0 {
+		version = trace.DefaultVersion
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	defer f.Close()
+	dec, err := trace.NewDecoder(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	s := &trace.Stream{Table: dec.Table()}
+	if err := dec.ForEach(func(a trace.Access) error {
+		s.Accesses = append(s.Accesses, a)
+		return nil
+	}); err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	if dec.Version() >= 2 && version == 1 {
+		fmt.Fprintln(stderr, "commtrace: note: v1 has no thread count or region file:line; downgrade drops them")
+	}
+	g, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	if err := s.EncodeVersion(g, version, dec.Threads()); err != nil {
+		g.Close()
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	if err := g.Close(); err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	inSize, outSize := fileSize(in), fileSize(out)
+	ratio := 0.0
+	if outSize > 0 {
+		ratio = float64(inSize) / float64(outSize)
+	}
+	fmt.Fprintf(stderr, "commtrace: recoded %d records v%d -> v%d: %d -> %d bytes (%.2fx)\n",
+		len(s.Accesses), dec.Version(), version, inSize, outSize, ratio)
+	return 0
+}
+
+// recoverTrace salvages the decodable prefix of a damaged or unfinalized
+// trace (writer died before Close): it reports what survived, optionally
+// persists it as a finalized trace at out, and replays it through the
+// standard analysis backend.
+func recoverTrace(in, out string, version, threads int, opts commprof.Options, jsonOut, heatmap bool, stdout, stderr io.Writer) int {
+	if in == "" {
+		fmt.Fprintln(stderr, "commtrace: -mode recover requires -in")
+		return 2
+	}
+	if version == 0 {
+		version = trace.DefaultVersion
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	defer f.Close()
+	s, rec, err := trace.DecodeTolerant(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	declared := fmt.Sprintf("%d declared", rec.Declared)
+	if rec.Unfinalized {
+		declared = "header unfinalized"
+	}
+	fmt.Fprintf(stderr, "commtrace: recovered %d complete records (%s), %d goroutines\n",
+		rec.Records, declared, rec.Threads)
+	if rec.Err != nil {
+		fmt.Fprintf(stderr, "commtrace: recovery stopped at: %v\n", rec.Err)
+	}
+	if out != "" {
+		g, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(stderr, "commtrace:", err)
+			return 1
+		}
+		if err := s.EncodeVersion(g, version, rec.Threads); err != nil {
+			g.Close()
+			fmt.Fprintln(stderr, "commtrace:", err)
+			return 1
+		}
+		if err := g.Close(); err != nil {
+			fmt.Fprintln(stderr, "commtrace:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "commtrace: wrote finalized v%d trace to %s\n", version, out)
+	}
+	if rec.Records == 0 {
+		fmt.Fprintln(stderr, "commtrace: nothing to replay")
+		return 0
+	}
+	if threads == 0 {
+		threads = rec.Threads
+	}
+	var buf bytes.Buffer
+	if err := s.EncodeVersion(&buf, trace.DefaultVersion, rec.Threads); err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	rep, err := commprof.Replay(&buf, threads, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "commtrace:", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprint(stdout, rep.Summary())
+	if heatmap {
+		fmt.Fprintln(stdout, "\nglobal communication matrix:")
+		fmt.Fprint(stdout, rep.Global.Heatmap())
+	}
+	return 0
+}
+
+// fileSize returns a path's size in bytes, 0 on error.
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
 }
 
 // commprofRoot resolves the repository directory the emitted module's

@@ -30,6 +30,7 @@ import (
 	"commprof/internal/obs"
 	"commprof/internal/sig"
 	"commprof/internal/splash"
+	"commprof/internal/trace"
 )
 
 // Options configures a profiling run.
@@ -159,6 +160,14 @@ type Options struct {
 	// the monitored slice and the monitor's cost. Ignored unless
 	// AccuracyTargetFPR is set. At most accuracy.MaxSampleBits (16).
 	AccuracySampleBits uint
+	// TraceFormat selects the trace codec version Record writes: 1 (fixed
+	// 29-byte records, no thread count in the header), 2 (v1 records plus
+	// thread count and region file:line) or 3 (the default — compact
+	// delta/varint block encoding, typically 3-10x smaller; see
+	// internal/trace and DESIGN §9). 0 means the default. Replay
+	// auto-detects the version from the stream header, so the knob only
+	// affects writing.
+	TraceFormat int
 	// Telemetry, when non-nil, threads self-observability probes through
 	// the signature, detector and executor layers, records run-phase spans,
 	// and attaches an end-of-run snapshot as Report.Telemetry. See
@@ -184,6 +193,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.MaxHotspots == 0 {
 		o.MaxHotspots = 10
+	}
+	if o.TraceFormat == 0 {
+		o.TraceFormat = trace.DefaultVersion
 	}
 }
 

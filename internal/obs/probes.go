@@ -81,8 +81,13 @@ type AccuracyProbes struct {
 // TraceProbes instruments the incremental trace codec (internal/trace).
 type TraceProbes struct {
 	// DecodedRecords counts access records the streaming Decoder has decoded
-	// — the progress feed of a long offline replay.
+	// — the progress feed of a long offline replay. Updates are batched
+	// (per block/batch), so mid-stream reads may lag by up to a batch; the
+	// total after EOF is exact.
 	DecodedRecords *Counter
+	// EncodedRecords counts access records written by the streaming
+	// encoders, batched the same way.
+	EncodedRecords *Counter
 }
 
 // PhaseProbes instruments the windowed phase-classification layer
@@ -162,6 +167,7 @@ func DefaultProbes(r *Registry) *Probes {
 		},
 		Trace: &TraceProbes{
 			DecodedRecords: r.Counter("trace_decoded_records_total"),
+			EncodedRecords: r.Counter("trace_encoded_records_total"),
 		},
 		Accuracy: &AccuracyProbes{
 			Sampled:        r.Counter("accuracy_sampled_total"),

@@ -689,6 +689,16 @@ func (p *Producer) Process(a trace.Access) {
 	}
 }
 
+// ProcessBatch stages a run of accesses — the natural feed from
+// trace.Decoder.NextBatch, pairing the codec's block-at-a-time decode with
+// the producer's per-shard staging. Semantically identical to calling
+// Process on each element.
+func (p *Producer) ProcessBatch(batch []trace.Access) {
+	for _, a := range batch {
+		p.Process(a)
+	}
+}
+
 // Flush enqueues every staged batch. Call it when the producer is done (or
 // at any ordering boundary); staged accesses are otherwise invisible to the
 // shard workers.

@@ -26,17 +26,40 @@ const (
 	// the real values in place, so a sentinel surviving to decode time means
 	// the recording process died before finalizing the trace.
 	codecVersion2 = 2
-	// countUnpatched is the v2 "not yet finalized" sentinel for the access
-	// and thread counts.
+	// codecVersion3 keeps the v2 header and region table but replaces the
+	// fixed-record access section with CRC-framed blocks of delta/varint
+	// records — the compact wire format (see v3.go and DESIGN §9).
+	codecVersion3 = 3
+	// countUnpatched is the v2/v3 "not yet finalized" sentinel for the
+	// access and thread counts.
 	countUnpatched = 0xFFFFFFFF
 	accessRecLen   = 8 + 8 + 4 + 4 + 4 + 1
 )
 
-// Encode writes the stream in a compact little-endian binary format. It is a
+// DefaultVersion is the format new traces are written in unless a caller
+// asks for a specific one. Old versions stay decodable forever.
+const DefaultVersion = codecVersion3
+
+// Encode writes the stream in the v1 little-endian binary format. It is a
 // materialised wrapper over NewEncoder: header and region table first, then
-// one record per access.
+// one record per access. EncodeVersion picks the format explicitly.
 func (s *Stream) Encode(w io.Writer) error {
-	enc, err := NewEncoder(w, s.Table, len(s.Accesses))
+	return s.EncodeVersion(w, 1, 0)
+}
+
+// EncodeVersion writes the stream in the given format version (1, 2 or 3).
+// threads is the v2/v3 header thread count; 0 derives max(Thread)+1 from
+// the accesses. Since the materialised stream knows its counts up front, no
+// seeking is needed for any version.
+func (s *Stream) EncodeVersion(w io.Writer, version, threads int) error {
+	if threads == 0 && version >= 2 {
+		for _, a := range s.Accesses {
+			if int(a.Thread)+1 > threads {
+				threads = int(a.Thread) + 1
+			}
+		}
+	}
+	enc, err := NewEncoderVersion(w, s.Table, len(s.Accesses), threads, version)
 	if err != nil {
 		return err
 	}
@@ -76,6 +99,69 @@ func Decode(r io.Reader) (*Stream, error) {
 		}
 		s.Accesses = append(s.Accesses, a)
 	}
+}
+
+// Recovery describes what DecodeTolerant salvaged from a damaged stream.
+type Recovery struct {
+	// Records is the number of complete access records recovered.
+	Records int
+	// Declared is the header's access count, or -1 when the stream was
+	// never finalized and carried the sentinel.
+	Declared int
+	// Threads is the best thread-count estimate: the header count when
+	// finalized, otherwise max(Thread)+1 over the recovered records.
+	Threads int
+	// Unfinalized reports that the header counts held the unpatched
+	// sentinel — the writer died before Close.
+	Unfinalized bool
+	// Err is the decode error that ended recovery early, or nil when the
+	// stream ended cleanly (every declared or staged record recovered).
+	Err error
+}
+
+// DecodeTolerant reads as much of a possibly truncated or unfinalized
+// stream as can be salvaged: an unpatched v2/v3 header is accepted, and the
+// access section is decoded up to the last complete record (v1/v2) or last
+// intact CRC-verified block (v3). The returned stream is fully usable for
+// replay; Recovery reports how much survived and why decoding stopped.
+// Header or region-table corruption is still fatal.
+func DecodeTolerant(r io.Reader) (*Stream, *Recovery, error) {
+	d, err := NewDecoderTolerant(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Stream{Table: d.Table()}
+	prealloc := d.Len()
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	s.Accesses = make([]Access, 0, prealloc)
+	for {
+		a, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Tolerant decoders convert record failures into io.EOF;
+			// anything else would be a programming error, but fail safe.
+			return nil, nil, err
+		}
+		s.Accesses = append(s.Accesses, a)
+	}
+	rec := &Recovery{
+		Records:     len(s.Accesses),
+		Declared:    d.DeclaredLen(),
+		Threads:     d.Threads(),
+		Unfinalized: d.Unfinalized(),
+		Err:         d.SalvageErr(),
+	}
+	if rec.Unfinalized {
+		rec.Declared = -1
+	}
+	if seen := d.SeenThreads(); seen > rec.Threads {
+		rec.Threads = seen
+	}
+	return s, rec, nil
 }
 
 func writeString(w *bufio.Writer, s string) error {

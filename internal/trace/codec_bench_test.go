@@ -1,0 +1,190 @@
+package trace_test
+
+// Codec throughput benchmarks, driven by scripts/bench.sh codec. They live
+// in an external test package because the fixture replays a bundled splash
+// workload (splash imports trace; an in-package test would cycle).
+//
+// Fixture selection:
+//
+//	BENCH_TRACE=path   decode an existing trace file (e.g. a commtrace
+//	                   recording of a real instrumented Go program)
+//	BENCH_APP/BENCH_SIZE  run a bundled workload on the deterministic
+//	                   engine (default fft/simdev)
+//
+// Reported metrics: B/rec (encoded bytes per record), acc/s (decoded
+// accesses per second) and the standard MB/s from b.SetBytes.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"commprof/internal/exec"
+	"commprof/internal/splash"
+	"commprof/internal/trace"
+)
+
+const codecBenchThreads = 32
+
+var codecFixture struct {
+	once sync.Once
+	s    *trace.Stream
+	enc  map[int][]byte
+	err  error
+}
+
+func codecStream(b *testing.B) *trace.Stream {
+	codecFixture.once.Do(func() {
+		codecFixture.enc = make(map[int][]byte)
+		if path := os.Getenv("BENCH_TRACE"); path != "" {
+			f, err := os.Open(path)
+			if err != nil {
+				codecFixture.err = err
+				return
+			}
+			defer f.Close()
+			codecFixture.s, codecFixture.err = trace.Decode(f)
+			return
+		}
+		app := os.Getenv("BENCH_APP")
+		if app == "" {
+			app = "fft"
+		}
+		sizeName := os.Getenv("BENCH_SIZE")
+		if sizeName == "" {
+			sizeName = "simdev"
+		}
+		size, err := splash.ParseSize(sizeName)
+		if err != nil {
+			codecFixture.err = err
+			return
+		}
+		prog, err := splash.New(app, splash.Config{Threads: codecBenchThreads, Size: size, Seed: 42})
+		if err != nil {
+			codecFixture.err = err
+			return
+		}
+		s := &trace.Stream{}
+		eng := exec.New(exec.Options{Threads: codecBenchThreads, Probe: func(a trace.Access) {
+			s.Accesses = append(s.Accesses, a)
+		}})
+		if _, err := prog.Run(eng); err != nil {
+			codecFixture.err = err
+			return
+		}
+		s.Table = prog.Table()
+		codecFixture.s = s
+	})
+	if codecFixture.err != nil {
+		b.Fatal(codecFixture.err)
+	}
+	if len(codecFixture.s.Accesses) == 0 {
+		b.Fatal("empty benchmark stream")
+	}
+	return codecFixture.s
+}
+
+func codecEncoded(b *testing.B, version int) []byte {
+	s := codecStream(b)
+	if data, ok := codecFixture.enc[version]; ok {
+		return data
+	}
+	var buf bytes.Buffer
+	if err := s.EncodeVersion(&buf, version, 0); err != nil {
+		b.Fatal(err)
+	}
+	codecFixture.enc[version] = buf.Bytes()
+	return buf.Bytes()
+}
+
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+func BenchmarkCodecEncode(b *testing.B) {
+	s := codecStream(b)
+	for _, version := range []int{1, 3} {
+		b.Run(fmt.Sprintf("v%d", version), func(b *testing.B) {
+			b.ReportAllocs()
+			var written int64
+			for i := 0; i < b.N; i++ {
+				var cw countWriter
+				if err := s.EncodeVersion(&cw, version, 0); err != nil {
+					b.Fatal(err)
+				}
+				written = cw.n
+			}
+			b.SetBytes(written)
+			b.ReportMetric(float64(written)/float64(len(s.Accesses)), "B/rec")
+			b.ReportMetric(float64(len(s.Accesses)), "records")
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(len(s.Accesses))*float64(b.N)/sec, "acc/s")
+			}
+		})
+	}
+}
+
+func BenchmarkCodecDecode(b *testing.B) {
+	s := codecStream(b)
+	cases := []struct {
+		name    string
+		version int
+		batch   bool
+	}{
+		{"v1-next", 1, false},
+		{"v1-batch", 1, true},
+		{"v3-next", 3, false},
+		{"v3-batch", 3, true},
+	}
+	for _, tc := range cases {
+		data := codecEncoded(b, tc.version)
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			buf := make([]trace.Access, 0, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dec, err := trace.NewDecoder(bytes.NewReader(data))
+				if err != nil {
+					b.Fatal(err)
+				}
+				decoded := 0
+				if tc.batch {
+					for {
+						buf, err = dec.NextBatch(buf)
+						if err == io.EOF {
+							break
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+						decoded += len(buf)
+					}
+				} else {
+					for {
+						_, err := dec.Next()
+						if err == io.EOF {
+							break
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+						decoded++
+					}
+				}
+				if decoded != len(s.Accesses) {
+					b.Fatalf("decoded %d of %d records", decoded, len(s.Accesses))
+				}
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(len(s.Accesses))*float64(b.N)/sec, "acc/s")
+			}
+		})
+	}
+}

@@ -5,36 +5,60 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"commprof/internal/obs"
 )
 
-// DynamicEncoder writes a v2 trace stream for producers that do not know the
-// access or thread count up front — the real-program instrumentation shim,
-// which discovers goroutines as they first touch shared memory and records
-// until the program exits. The header is written immediately with both counts
-// set to the unpatched sentinel; Close seeks back and patches the final
-// values in place. A stream whose writer died before Close therefore still
-// carries the sentinel, and NewDecoder rejects it as never finalized instead
-// of decoding a truncated prefix as a complete run.
+// DynamicEncoder writes a v2 or v3 trace stream for producers that do not
+// know the access or thread count up front — the real-program
+// instrumentation shim, which discovers goroutines as they first touch
+// shared memory and records until the program exits. The header is written
+// immediately with both counts set to the unpatched sentinel; Close seeks
+// back and patches the final values in place. A stream whose writer died
+// before Close therefore still carries the sentinel, and NewDecoder rejects
+// it as never finalized instead of decoding a truncated prefix as a
+// complete run (NewDecoderTolerant salvages it on request).
 //
 // Unlike the v1 Encoder, record writes are unbounded (up to the format's
 // uint32 capacity) and each region's File/Line source position is persisted.
 type DynamicEncoder struct {
+	// Probes, when non-nil, receives encode-progress telemetry (batched, one
+	// publish per flushed block or telemetryFlushEvery records). Set it
+	// before the first Write call.
+	Probes *obs.TraceProbes
+
 	ws        io.WriteSeeker
 	bw        *bufio.Writer
+	version   uint32
+	blk       *v3BlockWriter // v3 only
 	i         uint32
+	pending   uint32
 	maxThread int32 // largest Access.Thread seen; -1 before the first record
 	threads   int   // explicit SetThreads override, 0 = derive from records
 	closed    bool
 	err       error // sticky failure
 }
 
-// v2 header layout: magic, version, region count, access count, thread count.
+// v2/v3 header layout: magic, version, region count, access count, thread
+// count.
 const headerLenV2 = 20
 
-// NewDynamicEncoder writes the v2 stream header (with sentinel counts) and
-// region table to ws and returns an encoder accepting any number of Write
-// calls. ws must be seekable so Close can patch the header; a plain file is.
+// NewDynamicEncoder writes a stream header (with sentinel counts) and region
+// table to ws and returns an encoder accepting any number of Write calls in
+// the default on-disk format, v3. ws must be seekable so Close can patch the
+// header; a plain file is.
 func NewDynamicEncoder(ws io.WriteSeeker, table *Table) (*DynamicEncoder, error) {
+	return NewDynamicEncoderVersion(ws, table, codecVersion3)
+}
+
+// NewDynamicEncoderVersion is NewDynamicEncoder with an explicit format
+// version: 2 (fixed 29-byte records) or 3 (compact delta/varint blocks).
+// Both share the 20-byte patched-at-Close header, so salvage and replay
+// treat them alike; v1 has no sentinel and cannot be written dynamically.
+func NewDynamicEncoderVersion(ws io.WriteSeeker, table *Table, version int) (*DynamicEncoder, error) {
+	if version != codecVersion2 && version != codecVersion3 {
+		return nil, fmt.Errorf("trace: dynamic encoder supports versions 2 and 3, not %d", version)
+	}
 	if table == nil {
 		return nil, fmt.Errorf("trace: encoder requires a region table")
 	}
@@ -42,36 +66,14 @@ func NewDynamicEncoder(ws io.WriteSeeker, table *Table) (*DynamicEncoder, error)
 		return nil, err
 	}
 	bw := bufio.NewWriter(ws)
-	hdr := make([]byte, headerLenV2)
-	binary.LittleEndian.PutUint32(hdr[0:], codecMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], codecVersion2)
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(table.Len()))
-	binary.LittleEndian.PutUint32(hdr[12:], countUnpatched)
-	binary.LittleEndian.PutUint32(hdr[16:], countUnpatched)
-	if _, err := bw.Write(hdr); err != nil {
-		return nil, fmt.Errorf("trace: write header: %w", err)
+	if err := writeHeaderAndTable(bw, uint32(version), table, countUnpatched, countUnpatched); err != nil {
+		return nil, err
 	}
-	for _, r := range table.Regions {
-		var buf [9]byte
-		binary.LittleEndian.PutUint32(buf[0:], uint32(r.ID))
-		binary.LittleEndian.PutUint32(buf[4:], uint32(r.Parent))
-		buf[8] = byte(r.Kind)
-		if _, err := bw.Write(buf[:]); err != nil {
-			return nil, fmt.Errorf("trace: write region: %w", err)
-		}
-		if err := writeString(bw, r.Name); err != nil {
-			return nil, err
-		}
-		if err := writeString(bw, r.File); err != nil {
-			return nil, err
-		}
-		var line [4]byte
-		binary.LittleEndian.PutUint32(line[:], uint32(r.Line))
-		if _, err := bw.Write(line[:]); err != nil {
-			return nil, fmt.Errorf("trace: write region line: %w", err)
-		}
+	e := &DynamicEncoder{ws: ws, bw: bw, version: uint32(version), maxThread: -1}
+	if e.version == codecVersion3 {
+		e.blk = newV3BlockWriter()
 	}
-	return &DynamicEncoder{ws: ws, bw: bw, maxThread: -1}, nil
+	return e, nil
 }
 
 // SetThreads declares the final thread count explicitly (e.g. the number of
@@ -81,6 +83,23 @@ func (e *DynamicEncoder) SetThreads(n int) {
 	if n > e.threads {
 		e.threads = n
 	}
+}
+
+func (e *DynamicEncoder) noteEncoded(k int) {
+	if e.Probes == nil {
+		return
+	}
+	e.pending += uint32(k)
+	if e.pending >= telemetryFlushEvery {
+		e.flushEncoded()
+	}
+}
+
+func (e *DynamicEncoder) flushEncoded() {
+	if e.Probes != nil && e.pending > 0 {
+		e.Probes.EncodedRecords.Add(uint64(e.pending))
+	}
+	e.pending = 0
 }
 
 // Write appends one access record.
@@ -98,31 +117,43 @@ func (e *DynamicEncoder) Write(a Access) error {
 		e.err = fmt.Errorf("trace: access count exceeds the format's capacity (%d records)", uint32(countUnpatched-1))
 		return e.err
 	}
-	var rec [accessRecLen]byte
-	binary.LittleEndian.PutUint64(rec[0:], a.Time)
-	binary.LittleEndian.PutUint64(rec[8:], a.Addr)
-	binary.LittleEndian.PutUint32(rec[16:], a.Size)
-	binary.LittleEndian.PutUint32(rec[20:], uint32(a.Thread))
-	binary.LittleEndian.PutUint32(rec[24:], uint32(a.Region))
-	rec[28] = byte(a.Kind)
-	if _, err := e.bw.Write(rec[:]); err != nil {
-		e.err = fmt.Errorf("trace: write access record %d: %w", e.i+1, err)
-		return e.err
+	if e.version == codecVersion3 {
+		if err := e.blk.append(a); err != nil {
+			e.err = fmt.Errorf("trace: encode access record %d: %w", e.i+1, err)
+			return e.err
+		}
+		e.i++
+		if e.blk.full() {
+			n, err := e.blk.flush(e.bw)
+			if err != nil {
+				e.err = err
+				return e.err
+			}
+			e.noteEncoded(n)
+			e.flushEncoded()
+		}
+	} else {
+		if err := writeFixedRecord(e.bw, a); err != nil {
+			e.err = fmt.Errorf("trace: write access record %d: %w", e.i+1, err)
+			return e.err
+		}
+		e.i++
+		e.noteEncoded(1)
 	}
 	if a.Thread > e.maxThread {
 		e.maxThread = a.Thread
 	}
-	e.i++
 	return nil
 }
 
 // Written returns the number of access records written so far.
 func (e *DynamicEncoder) Written() int { return int(e.i) }
 
-// Close flushes buffered output and patches the header's access and thread
-// counts in place — the step that finalizes the stream. Until it succeeds the
-// header still carries the unpatched sentinel and NewDecoder rejects the
-// stream, which is exactly the safety property a crash mid-recording needs.
+// Close flushes buffered output (including a final partial v3 block) and
+// patches the header's access and thread counts in place — the step that
+// finalizes the stream. Until it succeeds the header still carries the
+// unpatched sentinel and NewDecoder rejects the stream, which is exactly
+// the safety property a crash mid-recording needs.
 func (e *DynamicEncoder) Close() error {
 	if e.err != nil {
 		return e.err
@@ -131,6 +162,15 @@ func (e *DynamicEncoder) Close() error {
 		return fmt.Errorf("trace: already closed")
 	}
 	e.closed = true
+	if e.version == codecVersion3 {
+		n, err := e.blk.flush(e.bw)
+		if err != nil {
+			e.err = err
+			return e.err
+		}
+		e.noteEncoded(n)
+	}
+	e.flushEncoded()
 	if err := e.bw.Flush(); err != nil {
 		e.err = fmt.Errorf("trace: flush: %w", err)
 		return e.err

@@ -14,10 +14,13 @@ import (
 
 // Record profiles the named bundled workload while also recording its full
 // access trace (with the static region table) to w in the binary trace
-// format, for later offline analysis with Replay. This is the workflow the
-// paper contrasts with on-the-fly analysis: trace files grow with execution
-// length — the radix simlarge trace is tens of MB where the live profiler's
-// signature stays fixed — which is precisely why DiscoPoP analyses online.
+// format selected by Options.TraceFormat (default v3, the compact
+// delta/varint block encoding), for later offline analysis with Replay.
+// This is the workflow the paper contrasts with on-the-fly analysis: trace
+// files grow with execution length — the radix simlarge trace is tens of MB
+// as fixed v1 records, several times smaller as v3, where the live
+// profiler's signature stays fixed — which is precisely why DiscoPoP
+// analyses online.
 func Record(opts Options, w io.Writer) (*Report, error) {
 	opts.setDefaults()
 	size, err := splash.ParseSize(opts.InputSize)
@@ -72,7 +75,7 @@ func Record(opts Options, w io.Writer) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := stream.Encode(w); err != nil {
+	if err := stream.EncodeVersion(w, opts.TraceFormat, opts.Threads); err != nil {
 		return nil, fmt.Errorf("commprof: write trace: %w", err)
 	}
 	rep, tree, err := buildReport(opts.Workload, opts.Threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, tel)
@@ -84,16 +87,22 @@ func Record(opts Options, w io.Writer) (*Report, error) {
 	return rep, nil
 }
 
+// replayBatchSize is the NextBatch buffer capacity the Replay loops reuse:
+// large enough to amortise per-batch overhead across a v3 block's worth of
+// records, small enough to stay resident in cache.
+const replayBatchSize = 1024
+
 // Replay runs the profiler offline over a trace previously written by
 // Record. threads must match the recording's thread count (the matrix
-// dimension); it is validated against the trace contents. For a v2 trace —
-// one recorded from a real goroutine program, whose header carries the final
-// goroutine count the shim registered — threads may be 0, meaning "use the
-// count the trace declares".
+// dimension); it is validated against the trace contents. For a v2/v3 trace
+// — one recorded from a real goroutine program, whose header carries the
+// final goroutine count the shim registered — threads may be 0, meaning
+// "use the count the trace declares". All codec versions replay.
 //
-// Replay decodes the trace incrementally: the region table is read up front
-// and each access record then flows straight into the analyser, so resident
-// memory is O(region table) for the serial detector and O(region table +
+// Replay decodes the trace incrementally and in batches: the region table
+// is read up front and each decoded batch then flows straight into the
+// analyser (Decoder.NextBatch into a reused buffer), so resident memory is
+// O(region table + one batch) for the serial detector and O(region table +
 // shard queues + staging) with AnalysisShards — never O(accesses). A
 // truncated or corrupt access section fails with "record i of n" context
 // after the prefix before it has been analysed.
@@ -108,22 +117,28 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 	}
 	if threads == 0 {
 		if threads = dec.Threads(); threads == 0 {
-			return nil, fmt.Errorf("commprof: threads 0 requires a v2 trace that declares its goroutine count; this trace does not")
+			return nil, fmt.Errorf("commprof: threads 0 requires a v2 or v3 trace that declares its goroutine count; this trace does not")
 		}
 	}
 	tel := opts.Telemetry
 	probes := tel.probes()
 	dec.Probes = probes.TraceProbes()
 	var stats exec.Stats
-	count := func(a trace.Access) error {
-		if a.Thread < 0 || int(a.Thread) >= threads {
-			return fmt.Errorf("commprof: trace access %d has thread %d, outside [0,%d)", dec.Decoded()-1, a.Thread, threads)
-		}
-		stats.Accesses++
-		if a.Kind == trace.Write {
-			stats.Writes++
-		} else {
-			stats.Reads++
+	seen := 0
+	// count validates and tallies one decoded batch before it reaches the
+	// analyser.
+	count := func(batch []trace.Access) error {
+		for _, a := range batch {
+			if a.Thread < 0 || int(a.Thread) >= threads {
+				return fmt.Errorf("commprof: trace access %d has thread %d, outside [0,%d)", seen, a.Thread, threads)
+			}
+			seen++
+			stats.Accesses++
+			if a.Kind == trace.Write {
+				stats.Writes++
+			} else {
+				stats.Reads++
+			}
 		}
 		return nil
 	}
@@ -145,15 +160,21 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 		tel.wireRunSharded(nil, pe)
 		ps.wire(pe.AdvancePhases)
 		producer := pe.NewProducer(false)
-		if err := dec.ForEach(func(a trace.Access) error {
-			if err := count(a); err != nil {
-				return err
+		batch := make([]trace.Access, 0, replayBatchSize)
+		for {
+			batch, err = dec.NextBatch(batch)
+			if err == io.EOF {
+				break
 			}
-			producer.Process(a)
-			return nil
-		}); err != nil {
-			pe.Close()
-			return nil, err
+			if err != nil {
+				pe.Close()
+				return nil, err
+			}
+			if err := count(batch); err != nil {
+				pe.Close()
+				return nil, err
+			}
+			producer.ProcessBatch(batch)
 		}
 		producer.Flush()
 		pe.Close()
@@ -208,14 +229,19 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 		onClose := ps.onClose()
 		ps.wire(func() int { return seg.Advance(onClose) })
 	}
-	if err := dec.ForEach(func(a trace.Access) error {
-		if err := count(a); err != nil {
-			return err
+	batch := make([]trace.Access, 0, replayBatchSize)
+	for {
+		batch, err = dec.NextBatch(batch)
+		if err == io.EOF {
+			break
 		}
-		d.Process(a)
-		return nil
-	}); err != nil {
-		return nil, err
+		if err != nil {
+			return nil, err
+		}
+		if err := count(batch); err != nil {
+			return nil, err
+		}
+		d.ProcessBatch(batch)
 	}
 	rep, tree, err := buildReport("replay", threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, tel)
 	if err != nil {

@@ -15,6 +15,7 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 	if buf.Len() == 0 {
 		t.Fatal("empty trace written")
 	}
+	encoded := append([]byte(nil), buf.Bytes()...)
 	replayed, err := Replay(&buf, 8, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -36,10 +37,21 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 	if len(replayed.Regions) != len(live.Regions) {
 		t.Fatalf("regions %d vs %d", len(replayed.Regions), len(live.Regions))
 	}
-	// The trace grows with execution length — the property the paper holds
-	// against offline tools. ~29 bytes per access plus table.
-	if uint64(buf.Cap()) < live.Accesses*20 {
-		t.Fatalf("trace suspiciously small: %d bytes for %d accesses", buf.Cap(), live.Accesses)
+	// The default format is v3: the trace still grows with execution length
+	// (the property the paper holds against offline tools) but at a few
+	// bytes per access, far under the fixed 29-byte v1 record.
+	if uint64(len(encoded)) >= live.Accesses*8 {
+		t.Fatalf("v3 trace not compact: %d bytes for %d accesses", len(encoded), live.Accesses)
+	}
+	var v1 bytes.Buffer
+	if _, err := Record(Options{Workload: "fft", Threads: 8, TraceFormat: 1}, &v1); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(v1.Len()) < live.Accesses*29 {
+		t.Fatalf("v1 trace suspiciously small: %d bytes for %d accesses", v1.Len(), live.Accesses)
+	}
+	if v1.Len() < 3*len(encoded) {
+		t.Fatalf("v3 trace (%d bytes) not ≥3x smaller than v1 (%d bytes)", len(encoded), v1.Len())
 	}
 }
 
@@ -57,12 +69,23 @@ func TestReplayErrors(t *testing.T) {
 	if _, err := Replay(strings.NewReader("garbage"), 4, Options{}); err == nil {
 		t.Error("garbage trace accepted")
 	}
+	// A v1 trace carries no thread count, so threads=0 cannot be resolved.
 	var buf bytes.Buffer
-	if _, err := Record(Options{Workload: "fft", Threads: 8}, &buf); err != nil {
+	if _, err := Record(Options{Workload: "fft", Threads: 8, TraceFormat: 1}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Replay(&buf, 0, Options{}); err == nil {
-		t.Error("zero threads accepted")
+		t.Error("zero threads accepted for a v1 trace")
+	}
+	// The default (v3) trace declares its thread count; threads=0 resolves.
+	var v3buf bytes.Buffer
+	if _, err := Record(Options{Workload: "fft", Threads: 8}, &v3buf); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := Replay(&v3buf, 0, Options{}); err != nil {
+		t.Errorf("zero threads rejected for a v3 trace: %v", err)
+	} else if rep.Threads != 8 {
+		t.Errorf("v3 replay resolved %d threads, want 8", rep.Threads)
 	}
 	// Thread count smaller than the recording's: accesses reference
 	// out-of-range threads.

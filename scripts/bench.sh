@@ -45,6 +45,16 @@
 #              untouched by the pass, so this mode measures the MiniPar
 #              pipeline only.
 #
+#   codec      Trace-codec size and throughput: v1 fixed records vs the v3
+#              delta/varint block format. Runs the CodecEncode/CodecDecode
+#              benchmarks in internal/trace over the BENCH_APPS workloads
+#              plus one real instrumented-program trace (recorded on the
+#              spot with commtrace), and writes BENCH_codec.json with
+#              encoded bytes/record and the size ratio per workload, and
+#              decode throughput (accesses/s) for the v1 per-record path vs
+#              the v3 batched path with the speedup. The acceptance bars:
+#              >=3x smaller records and >=1.3x faster batched decode.
+#
 #   accuracy   Accuracy-monitor overhead on the detection hot loop. Runs the
 #              ProcessMonitor benchmarks in internal/accuracy (monitor off,
 #              then shadow slices 1/64, 1/8 and 1/1) over the BENCH_APPS
@@ -62,6 +72,9 @@
 #   BENCH_PROGS  frontend program list           (default "workerpool chanpipe striped")
 #   BENCH_COALESCE_TIME  coalesce -benchtime     (default 200x; the kernels
 #                are microsecond-scale, so the global 3x default is too noisy)
+#   BENCH_CODEC_TIME  codec -benchtime           (default 10x; decode passes
+#                are millisecond-scale, so extra iterations are cheap)
+#   BENCH_CODEC_PROG  codec frontend program     (default workerpool)
 # Parallel speedup needs spare cores: with GOMAXPROCS=1 the sharded rows
 # measure queueing overhead and cache-locality gains only. The hotpath mode
 # is single-threaded by construction and unaffected.
@@ -228,6 +241,69 @@ bench_coalesce() {
 	cat "$out"
 }
 
+bench_codec() {
+	apps="${BENCH_APPS:-fft radix}"
+	prog="${BENCH_CODEC_PROG:-workerpool}"
+	ctime="${BENCH_CODEC_TIME:-10x}"
+	out="BENCH_codec.json"
+	tmp=$(mktemp)
+	tmpd=$(mktemp -d)
+	trap 'rm -f "$tmp"; rm -rf "$tmpd"' EXIT
+
+	# parse_codec <label> reads one benchmark run on stdin and appends
+	# "label v1_B/rec v3_B/rec v1_next_acc/s v3_batch_acc/s v3_MB/s records"
+	# to $tmp.
+	parse_codec() {
+		awk -v label="$1" '
+		/^BenchmarkCodec/ {
+			brec = ""; acc = ""; mbs = ""; recs = ""
+			for (i = 2; i < NF; i++) {
+				if ($(i + 1) == "B/rec") brec = $i
+				if ($(i + 1) == "acc/s") acc = $i
+				if ($(i + 1) == "MB/s") mbs = $i
+				if ($(i + 1) == "records") recs = $i
+			}
+			if ($1 ~ /CodecEncode\/v1/) { b1 = brec; n = recs }
+			else if ($1 ~ /CodecEncode\/v3/) b3 = brec
+			else if ($1 ~ /CodecDecode\/v1-next/) d1 = acc
+			else if ($1 ~ /CodecDecode\/v3-batch/) { d3 = acc; mb3 = mbs }
+		}
+		END {
+			if (b1 == "" || b3 == "" || d1 == "" || d3 == "") exit 1
+			printf "%s %s %s %s %s %s %s\n", label, b1, b3, d1, d3, mb3, n
+		}' >> "$tmp"
+	}
+
+	for app in $apps; do
+		echo "== bench codec: $app/$size (benchtime $ctime) =="
+		raw=$(BENCH_APP="$app" BENCH_SIZE="$size" go test -run '^$' \
+			-bench 'Codec(Encode|Decode)' -benchtime "$ctime" ./internal/trace/)
+		echo "$raw"
+		echo "$raw" | parse_codec "$app"
+	done
+
+	echo "== bench codec: $prog (recorded frontend trace) =="
+	go run ./cmd/commtrace -pkg "./testdata/$prog" -o "$tmpd/$prog.trace"
+	raw=$(BENCH_TRACE="$tmpd/$prog.trace" go test -run '^$' \
+		-bench 'Codec(Encode|Decode)' -benchtime "$ctime" ./internal/trace/)
+	echo "$raw"
+	echo "$raw" | parse_codec "$prog-frontend"
+
+	awk -v size="$size" '
+	{
+		rows[n++] = sprintf("    {\"workload\": \"%s\", \"records\": %.0f, \"v1_bytes_per_record\": %.2f, \"v3_bytes_per_record\": %.2f, \"size_ratio\": %.2f, \"v1_next_acc_per_sec\": %.0f, \"v3_batch_acc_per_sec\": %.0f, \"decode_speedup\": %.2f, \"v3_decode_mb_per_sec\": %.1f}",
+			$1, $7, $2, $3, $2 / $3, $4, $5, $5 / $4, $6)
+	}
+	END {
+		printf "{\n  \"size\": \"%s\",\n  \"size_ratio_floor\": 3.0,\n  \"decode_speedup_floor\": 1.3,\n  \"rows\": [\n", size
+		for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+		printf "  ]\n}\n"
+	}' "$tmp" > "$out"
+
+	echo "wrote $out"
+	cat "$out"
+}
+
 bench_accuracy() {
 	apps="${BENCH_APPS:-fft radix}"
 	out="BENCH_accuracy.json"
@@ -313,10 +389,11 @@ pipeline) bench_pipeline ;;
 hotpath) bench_hotpath ;;
 phases) bench_phases ;;
 coalesce) bench_coalesce ;;
+codec) bench_codec ;;
 accuracy) bench_accuracy ;;
 frontend) bench_frontend ;;
 *)
-	echo "bench.sh: unknown mode '$mode' (want pipeline, hotpath, phases, coalesce, accuracy or frontend)" >&2
+	echo "bench.sh: unknown mode '$mode' (want pipeline, hotpath, phases, coalesce, codec, accuracy or frontend)" >&2
 	exit 2
 	;;
 esac

@@ -40,7 +40,7 @@ for pkg in workerpool chanpipe striped; do
 done
 
 echo "== go test -fuzz smoke (trace codec, instrumenter, coalescing pass) =="
-for target in FuzzDecode FuzzDecoder FuzzStreamRoundTrip; do
+for target in FuzzDecode FuzzDecoder FuzzStreamRoundTrip FuzzV3RoundTrip FuzzV3Decoder; do
 	go test -run '^$' -fuzz "^${target}\$" -fuzztime 5s ./internal/trace
 done
 go test -run '^$' -fuzz '^FuzzInstrument$' -fuzztime 5s ./internal/instrument
