@@ -185,14 +185,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("commbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "", "experiment ID (or 'all'); see -listexp")
-		listExp = fs.Bool("listexp", false, "list experiment IDs and exit")
-		threads = fs.Int("threads", 32, "simulated thread count")
-		seed    = fs.Int64("seed", 42, "workload random seed")
-		slots   = fs.Uint64("sig", 1<<20, "signature slots for non-sweep experiments")
-		coal    = fs.Bool("coalesce", true, "statically coalesce redundant probes in MiniPar-pipeline experiments (-coalesce=false disables)")
-		telem   = fs.Bool("telemetry", false, "collect harness self-observability metrics and print a Prometheus-text dump after the run")
-		telAddr = fs.String("telemetry-addr", "", "serve live /metrics, /metrics.json and /progress on this address during the sweep (e.g. :9090, :0 picks a port)")
+		exp      = fs.String("exp", "", "experiment ID (or 'all'); see -listexp")
+		listExp  = fs.Bool("listexp", false, "list experiment IDs and exit")
+		threads  = fs.Int("threads", 32, "simulated thread count")
+		seed     = fs.Int64("seed", 42, "workload random seed")
+		slots    = fs.Uint64("sig", 1<<20, "signature slots for non-sweep experiments")
+		coal     = fs.Bool("coalesce", true, "statically coalesce redundant probes in MiniPar-pipeline experiments (-coalesce=false disables)")
+		telem    = fs.Bool("telemetry", false, "collect harness self-observability metrics and print a Prometheus-text dump after the run")
+		telAddr  = fs.String("telemetry-addr", "", "serve live /metrics, /metrics.json and /progress on this address during the sweep (e.g. :9090, :0 picks a port)")
+		timeline = fs.String("timeline", "", "write the sweep's execution timeline (one span per experiment) to this file as Chrome/Perfetto trace-event JSON")
+		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ on the telemetry server (needs -telemetry-addr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -221,17 +223,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tracer *obs.Tracer
 		done   = new(int)
 	)
-	if *telem || *telAddr != "" {
+	if *telem || *telAddr != "" || *timeline != "" {
 		reg = obs.NewRegistry()
 		tracer = obs.NewTracer()
 		env.Probes = obs.DefaultProbes(reg)
 		if *telAddr != "" {
+			var sopts []obs.ServeOption
+			if *pprofOn {
+				sopts = append(sopts, obs.WithPprof())
+			}
 			srv, err := obs.Serve(*telAddr, reg, tracer, func() any {
 				return map[string]any{
 					"phase":           tracer.Current(),
 					"experimentsDone": *done,
 				}
-			})
+			}, sopts...)
 			if err != nil {
 				fmt.Fprintln(stderr, "commbench:", err)
 				return 1
@@ -265,6 +271,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		*done++
 		fmt.Fprintf(stdout, "==== %s ====\n%s\n", id, out)
+	}
+	if *timeline != "" {
+		tl := obs.NewTimeline()
+		tl.AddSpans("run", tracer.Spans())
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fmt.Fprintln(stderr, "commbench:", err)
+			return 1
+		}
+		err = tl.WriteTraceEvents(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "commbench:", err)
+			return 1
+		}
 	}
 	if *telem {
 		fmt.Fprintln(stdout, "-- telemetry (Prometheus text format) --")

@@ -60,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		telem    = fs.Bool("telemetry", false, "collect profiler self-observability metrics and print a Prometheus-text dump after the run")
 		telAddr  = fs.String("telemetry-addr", "", "serve live /metrics, /metrics.json and /progress on this address during the run (e.g. :9090, :0 picks a port)")
 		telDump  = fs.String("telemetry-dump", "", "write a final Prometheus-text metrics snapshot to this file at exit (for scrape-less CI environments)")
+		timeline = fs.String("timeline", "", "write the run's execution timeline to this file as Chrome/Perfetto trace-event JSON (implies telemetry)")
+		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ on the telemetry server (needs -telemetry-addr)")
 		accBits  = fs.Uint("accuracy-bits", 0, "accuracy-monitor sample slice: shadow 1 of every 2^N granules with an exact detector (0 = every granule; only meaningful with -accuracy-target or when set explicitly)")
 		accTgt   = fs.Float64("accuracy-target", 0, "enable the online signature-accuracy monitor and alarm when the estimated FPR crosses this target, e.g. 0.05 (0 = off unless -accuracy-bits is set, which implies the default target)")
 	)
@@ -115,9 +117,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.AccuracySampleBits = *accBits
 	}
 	var tel *commprof.Telemetry
-	if *telem || *telAddr != "" || *telDump != "" {
+	if *telem || *telAddr != "" || *telDump != "" || *timeline != "" {
 		tel = commprof.NewTelemetry()
 		opts.Telemetry = tel
+		if *timeline != "" {
+			tel.EnableTimeline()
+		}
+		if *pprofOn {
+			tel.EnablePprof()
+		}
 		if *telAddr != "" {
 			addr, err := tel.Serve(*telAddr)
 			if err != nil {
@@ -145,6 +153,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if rc := writeTelemetryDump(tel, *telDump, stderr); code == 0 && rc != 0 {
 			return rc
 		}
+		if rc := writeTimelineFile(tel, *timeline, stderr); code == 0 && rc != 0 {
+			return rc
+		}
 		return code
 	case *app == "":
 		fmt.Fprintln(stderr, "commprof: -app is required (or -list/-replay); available:", strings.Join(commprof.Workloads(), ", "))
@@ -167,6 +178,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if rc := writeTelemetryDump(tel, *telDump, stderr); rc != 0 {
+		return rc
+	}
+	if rc := writeTimelineFile(tel, *timeline, stderr); rc != 0 {
 		return rc
 	}
 
@@ -227,6 +241,29 @@ func writeTelemetryDump(tel *commprof.Telemetry, path string, stderr io.Writer) 
 		return 1
 	}
 	err = tel.WriteProm(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "commprof:", err)
+		return 1
+	}
+	return 0
+}
+
+// writeTimelineFile writes the run's execution timeline as trace-event JSON
+// to path; a no-op when either the path or the telemetry handle is absent.
+// Returns a process exit code.
+func writeTimelineFile(tel *commprof.Telemetry, path string, stderr io.Writer) int {
+	if tel == nil || path == "" {
+		return 0
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "commprof:", err)
+		return 1
+	}
+	err = tel.WriteTimeline(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

@@ -61,14 +61,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		threads = fs.Int("threads", 0, "override the goroutine count (0 = the recorded trace's own)")
 		coal    = fs.Bool("coalesce", true, "statically coalesce provably redundant probes during instrumentation (-coalesce=false disables)")
 
-		shards  = fs.Int("shards", 0, "analysis shards for the parallel pipeline (0 = serial)")
-		phases  = fs.Uint64("phases", 0, "phase window in logical time units (0 = off)")
-		gran    = fs.Uint("granularity", 0, "analysis granularity in address bits (0 = per address, 6 = 64B lines)")
-		slots   = fs.Uint64("sig", 1<<20, "signature slots")
-		fpRate  = fs.Float64("fpr", 0.001, "bloom-filter false-positive rate")
-		redunB  = fs.Uint("redundancy-bits", 0, "redundancy fast-path cache bits (0 = off)")
-		heatmap = fs.Bool("heatmap", false, "print the global matrix heatmap")
-		jsonOut = fs.Bool("json", false, "emit the report as JSON")
+		shards      = fs.Int("shards", 0, "analysis shards for the parallel pipeline (0 = serial)")
+		phases      = fs.Uint64("phases", 0, "phase window in logical time units (0 = off)")
+		gran        = fs.Uint("granularity", 0, "analysis granularity in address bits (0 = per address, 6 = 64B lines)")
+		slots       = fs.Uint64("sig", 1<<20, "signature slots")
+		fpRate      = fs.Float64("fpr", 0.001, "bloom-filter false-positive rate")
+		redunB      = fs.Uint("redundancy-bits", 0, "redundancy fast-path cache bits (0 = off)")
+		heatmap     = fs.Bool("heatmap", false, "print the global matrix heatmap")
+		jsonOut     = fs.Bool("json", false, "emit the report as JSON")
+		timelineOut = fs.String("timeline", "", "write the analysis run's execution timeline as Chrome/Perfetto trace-event JSON to this file (with -mode live, the instrumented process writes it at exit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,6 +85,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		RedundancyCacheBits: *redunB,
 		TraceFormat:         *traceFm,
 	}
+	var tel *commprof.Telemetry
+	if *timelineOut != "" {
+		tel = commprof.NewTelemetry()
+		tel.EnableTimeline()
+		opts.Telemetry = tel
+	}
 
 	// recode and recover operate on an existing trace; no target package,
 	// instrumentation or build involved.
@@ -91,7 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "recode":
 		return recode(*in, *out, *traceFm, stderr)
 	case "recover":
-		return recoverTrace(*in, *out, *traceFm, *threads, opts, *jsonOut, *heatmap, stdout, stderr)
+		return recoverTrace(*in, *out, *traceFm, *threads, opts, *jsonOut, *heatmap, *timelineOut, stdout, stderr)
 	}
 
 	if *pkg == "" {
@@ -172,6 +179,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Sprintf("COMMPROF_REDUNDANCY_BITS=%d", *redunB),
 			fmt.Sprintf("COMMPROF_SIG=%d", *slots),
 		)
+		if *timelineOut != "" {
+			env = append(env, "COMMPROF_TIMELINE="+*timelineOut)
+		}
 		if err := runBin(bin, env, stdout, stderr); err != nil {
 			fmt.Fprintln(stderr, "commtrace:", err)
 			return 1
@@ -202,6 +212,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "commtrace:", err)
 		return 1
+	}
+	if rc := writeTimeline(tel, *timelineOut, stderr); rc != 0 {
+		return rc
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -282,7 +295,7 @@ func recode(in, out string, version int, stderr io.Writer) int {
 // trace (writer died before Close): it reports what survived, optionally
 // persists it as a finalized trace at out, and replays it through the
 // standard analysis backend.
-func recoverTrace(in, out string, version, threads int, opts commprof.Options, jsonOut, heatmap bool, stdout, stderr io.Writer) int {
+func recoverTrace(in, out string, version, threads int, opts commprof.Options, jsonOut, heatmap bool, timelineOut string, stdout, stderr io.Writer) int {
 	if in == "" {
 		fmt.Fprintln(stderr, "commtrace: -mode recover requires -in")
 		return 2
@@ -344,6 +357,9 @@ func recoverTrace(in, out string, version, threads int, opts commprof.Options, j
 		fmt.Fprintln(stderr, "commtrace:", err)
 		return 1
 	}
+	if rc := writeTimeline(opts.Telemetry, timelineOut, stderr); rc != 0 {
+		return rc
+	}
 	if jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -357,6 +373,29 @@ func recoverTrace(in, out string, version, threads int, opts commprof.Options, j
 	if heatmap {
 		fmt.Fprintln(stdout, "\nglobal communication matrix:")
 		fmt.Fprint(stdout, rep.Global.Heatmap())
+	}
+	return 0
+}
+
+// writeTimeline writes the analysis run's execution timeline as trace-event
+// JSON to path; a no-op when either the path or the telemetry handle is
+// absent. Returns a process exit code.
+func writeTimeline(tel *commprof.Telemetry, path string, stderr io.Writer) int {
+	if tel == nil || path == "" {
+		return 0
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
+	}
+	err = tel.WriteTimeline(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "commtrace:", err)
+		return 1
 	}
 	return 0
 }

@@ -21,6 +21,7 @@ package commprof
 
 import (
 	"fmt"
+	"time"
 
 	"commprof/internal/accuracy"
 	"commprof/internal/comm"
@@ -361,12 +362,20 @@ func Profile(opts Options) (*Report, error) {
 
 func buildReport(name string, threads int, d *detect.Detector, stats exec.Stats, sigBytes uint64, maxHotspots int, tel *Telemetry) (*Report, *comm.Tree, error) {
 	build := tel.span("tree-build")
+	stages := tel.probes().StageProbes()
+	var t0 time.Time
+	if stages != nil {
+		t0 = time.Now()
+	}
 	tree, err := d.Tree()
 	if err != nil {
 		return nil, nil, err
 	}
 	if err := tree.CheckSummationLaw(); err != nil {
 		return nil, nil, fmt.Errorf("commprof: internal invariant violated: %w", err)
+	}
+	if stages != nil {
+		stages.Merge.Observe(uint64(time.Since(t0)))
 	}
 	build.End()
 	dstats := d.Stats()

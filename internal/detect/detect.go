@@ -22,6 +22,7 @@ package detect
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"commprof/internal/accuracy"
 	"commprof/internal/comm"
@@ -84,6 +85,13 @@ type Options struct {
 	// counts and sizes, stale-writer drops). Nil keeps the hot path
 	// uninstrumented at the cost of one nil check per hook site.
 	Probes *obs.DetectProbes
+	// Overhead, when non-nil, enables the sampled overhead split: one access
+	// in every 2^overheadSampleShift times its redundancy-cache check and
+	// shadow-monitor calls individually and publishes the scaled-up
+	// nanoseconds, so the self-attribution report can divide detector time
+	// into signature / redundancy / shadow without per-access clock reads.
+	// Nil costs one branch per access.
+	Overhead *obs.OverheadProbes
 }
 
 // Detector consumes accesses in temporal order and accumulates communication
@@ -135,27 +143,53 @@ func New(opts Options) (*Detector, error) {
 	return d, nil
 }
 
+// overheadSampleShift sets the overhead-split sampling rate: one access in
+// 2^8 = 256 is timed and its nanoseconds scaled by 256. Coarse enough that
+// the clock reads amortise below a nanosecond per access, fine enough that
+// the estimate converges within the first million accesses.
+const overheadSampleShift = 8
+
 // Process applies Algorithm 1 to one access and reports whether it produced
 // a communication event.
 func (d *Detector) Process(a trace.Access) (Event, bool) {
-	d.processed.Add(1)
+	n := d.processed.Add(1)
+	// timed selects the sampled overhead-split path; false on every access
+	// when the Overhead probes are nil (the one-branch disabled cost).
+	timed := d.opts.Overhead != nil && n&(1<<overheadSampleShift-1) == 0
 	if d.regionAcc != nil && a.Region != trace.NoRegion && int(a.Region) < len(d.regionAcc) {
 		d.regionAcc[a.Region].Add(1)
 	}
 	gaddr := a.Addr >> d.opts.GranularityBits
-	if c := d.redun; c != nil && c.Redundant(gaddr, a.Thread, a.Kind == trace.Write) {
-		// Fast path: the access cannot change what Algorithm 1 reports
-		// (repeated same-thread read, repeated same-thread write, or a
-		// thread re-reading its own last write), so skip the backend.
-		if p := d.opts.Probes; p != nil {
-			p.RedundantSkips.Inc()
+	if c := d.redun; c != nil {
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
 		}
-		return Event{}, false
+		red := c.Redundant(gaddr, a.Thread, a.Kind == trace.Write)
+		if timed {
+			d.opts.Overhead.RedundancyNanos.Add(uint64(time.Since(t0)) << overheadSampleShift)
+		}
+		if red {
+			// Fast path: the access cannot change what Algorithm 1 reports
+			// (repeated same-thread read, repeated same-thread write, or a
+			// thread re-reading its own last write), so skip the backend.
+			if p := d.opts.Probes; p != nil {
+				p.RedundantSkips.Inc()
+			}
+			return Event{}, false
+		}
 	}
 	if a.Kind == trace.Write {
 		d.opts.Backend.ObserveWrite(gaddr, a.Thread)
 		if m := d.opts.Accuracy; m != nil {
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
 			m.ObserveWrite(gaddr, a.Thread)
+			if timed {
+				d.opts.Overhead.ShadowNanos.Add(uint64(time.Since(t0)) << overheadSampleShift)
+			}
 		}
 		return Event{}, false
 	}
@@ -171,7 +205,14 @@ func (d *Detector) Process(a trace.Access) (Event, bool) {
 	}
 	if m := d.opts.Accuracy; m != nil {
 		// The monitor pairs the post-drop verdict with the exact shadow's.
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		m.ObserveRead(gaddr, a.Thread, ok, writer)
+		if timed {
+			d.opts.Overhead.ShadowNanos.Add(uint64(time.Since(t0)) << overheadSampleShift)
+		}
 	}
 	if !ok {
 		return Event{}, false

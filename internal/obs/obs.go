@@ -111,6 +111,24 @@ func (h *Histogram) Observe(v uint64) {
 	h.sum.Add(v)
 }
 
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed values (0 on nil). For the stage
+// latency histograms, whose observations are nanoseconds, this is the
+// stage's total time.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
 // Bucket is one cell of a histogram snapshot: Count observations were at
 // most UpperBound.
 type Bucket struct {

@@ -106,6 +106,46 @@ type PhaseProbes struct {
 	LateWindows *Counter
 }
 
+// StageProbes holds the pipeline's stage latency histograms, one log2
+// histogram per stage of the analysis path. Observations are batched — one
+// per drained batch, producer flush, decoded batch or merge, never one per
+// access — so an enabled set costs a handful of monotonic-clock reads per
+// few hundred accesses. Each histogram's Sum doubles as the stage's total
+// nanoseconds, which is what the overhead self-attribution report reads.
+type StageProbes struct {
+	// QueueWait is the time a producer spent blocked on a full shard queue,
+	// one observation per stalled enqueue call (PolicyBlock backpressure).
+	QueueWait *Histogram
+	// Drain is one worker drain cycle: ring copy + detector batch + window
+	// flush. BatchService and Window are its two timed sub-stages.
+	Drain *Histogram
+	// BatchService is the detector's batch service time within a drain.
+	BatchService *Histogram
+	// Window is the windowed phase layer's cost: the per-drain window flush
+	// plus frontier advances.
+	Window *Histogram
+	// Producer is one producer staging call on the replay path (stage +
+	// enqueue, including any backpressure blocking).
+	Producer *Histogram
+	// Decode is one streaming Decoder.NextBatch call.
+	Decode *Histogram
+	// Merge is the end-of-run shard merge + communication tree build.
+	Merge *Histogram
+}
+
+// OverheadProbes accumulates the sampled overhead split inside the detector:
+// every overheadSampleEvery-th access times its redundancy-cache check and
+// shadow-monitor calls individually and adds the scaled-up nanoseconds here.
+// The remaining detector time is attributed to the signature backend at
+// report time (signature = batch service − redundancy − shadow), so the sum
+// of the three buckets is exact even though the split is an estimate.
+type OverheadProbes struct {
+	// RedundancyNanos estimates total time in the redundancy fast-path cache.
+	RedundancyNanos *Counter
+	// ShadowNanos estimates total time in the accuracy monitor's shadow.
+	ShadowNanos *Counter
+}
+
 // EngineProbes instruments the simulated-thread executor.
 type EngineProbes struct {
 	// QuantumSwitches counts deterministic-scheduler turns (one per quantum
@@ -130,6 +170,8 @@ type Probes struct {
 	Trace    *TraceProbes
 	Accuracy *AccuracyProbes
 	Phase    *PhaseProbes
+	Stage    *StageProbes
+	Overhead *OverheadProbes
 }
 
 // DefaultProbes wires a full probe set into r under the standard metric
@@ -179,6 +221,19 @@ func DefaultProbes(r *Registry) *Probes {
 			WindowsClosed: r.Counter("phase_windows_closed_total"),
 			Transitions:   r.Counter("phase_transitions_total"),
 			LateWindows:   r.Counter("phase_late_windows_total"),
+		},
+		Stage: &StageProbes{
+			QueueWait:    r.Histogram("stage_queue_wait_nanos"),
+			Drain:        r.Histogram("stage_drain_nanos"),
+			BatchService: r.Histogram("stage_batch_service_nanos"),
+			Window:       r.Histogram("stage_window_nanos"),
+			Producer:     r.Histogram("stage_producer_nanos"),
+			Decode:       r.Histogram("stage_decode_nanos"),
+			Merge:        r.Histogram("stage_merge_nanos"),
+		},
+		Overhead: &OverheadProbes{
+			RedundancyNanos: r.Counter("overhead_redundancy_nanos_total"),
+			ShadowNanos:     r.Counter("overhead_shadow_nanos_total"),
 		},
 	}
 }
@@ -237,4 +292,20 @@ func (p *Probes) PhaseProbes() *PhaseProbes {
 		return nil
 	}
 	return p.Phase
+}
+
+// StageProbes returns the stage-latency bundle; nil-safe.
+func (p *Probes) StageProbes() *StageProbes {
+	if p == nil {
+		return nil
+	}
+	return p.Stage
+}
+
+// OverheadProbes returns the overhead-split bundle; nil-safe.
+func (p *Probes) OverheadProbes() *OverheadProbes {
+	if p == nil {
+		return nil
+	}
+	return p.Overhead
 }

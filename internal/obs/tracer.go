@@ -34,12 +34,23 @@ type Tracer struct {
 func NewTracer() *Tracer { return &Tracer{} }
 
 // SetClock installs the logical-clock source (typically exec.Engine.Clock).
-// Spans started before this record logical clock 0.
+// Open spans that started before the source existed are backfilled with the
+// clock's value at install time — the earliest coherent reading — so a span
+// like workload-setup no longer records a permanent StartClock 0 merely
+// because it opened before the engine that owns the clock was built.
 func (t *Tracer) SetClock(fn func() uint64) {
 	if t == nil || fn == nil {
 		return
 	}
 	t.clock.Store(fn)
+	now := fn()
+	t.mu.Lock()
+	for _, h := range t.open {
+		if h.startClock == 0 {
+			h.startClock = now
+		}
+	}
+	t.mu.Unlock()
 }
 
 func (t *Tracer) now() uint64 {
@@ -78,13 +89,15 @@ func (h *SpanHandle) End() {
 	}
 	t := h.t
 	sp := Span{
-		Name:       h.name,
-		Start:      h.start,
-		WallNanos:  time.Since(h.start).Nanoseconds(),
-		StartClock: h.startClock,
-		EndClock:   t.now(),
+		Name:      h.name,
+		Start:     h.start,
+		WallNanos: time.Since(h.start).Nanoseconds(),
+		EndClock:  t.now(),
 	}
 	t.mu.Lock()
+	// startClock is read under the tracer lock: SetClock backfills it on
+	// open handles, possibly from another goroutine.
+	sp.StartClock = h.startClock
 	for i := len(t.open) - 1; i >= 0; i-- {
 		if t.open[i] == h {
 			t.open = append(t.open[:i], t.open[i+1:]...)

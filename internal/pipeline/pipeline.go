@@ -32,8 +32,11 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -167,6 +170,22 @@ type Options struct {
 	// (event counts, stale-writer drops, redundancy skips). All obs counters
 	// are atomic, so one bundle is safely shared across shard workers.
 	DetectProbes *obs.DetectProbes
+	// Stages, when non-nil, receives per-batch stage latency observations:
+	// producer blocking on a full queue (QueueWait), the worker drain cycle
+	// (Drain, with BatchService and Window as timed sub-stages), and the
+	// periodic window advance. Timing is per batch — a handful of
+	// monotonic-clock reads per few hundred accesses — never per access.
+	Stages *obs.StageProbes
+	// Overhead, when non-nil, is handed to every shard's private detector to
+	// enable the sampled signature/redundancy/shadow overhead split (see
+	// detect.Options.Overhead).
+	Overhead *obs.OverheadProbes
+	// Timeline, when non-nil, records execution-timeline events: one track
+	// per shard worker (busy-period spans), one per producer (flush spans),
+	// and an "engine" track carrying policy-transition and sampled
+	// degrade-drop instants. Nil keeps the hot path free of timeline work
+	// beyond one nil check per drain/flush.
+	Timeline *obs.Timeline
 }
 
 func (o *Options) setDefaults() error {
@@ -241,6 +260,8 @@ type shard struct {
 	d       *detect.Detector
 	backend sig.Backend
 	eng     *Engine // owning engine, for PolicyAuto's stall/restore hooks
+	stages  *obs.StageProbes
+	track   *obs.Track // worker timeline track; nil when the timeline is off
 
 	mu       sync.Mutex
 	notEmpty sync.Cond
@@ -281,10 +302,18 @@ func (s *shard) enqueue(items []trace.Access, p *obs.PipelineProbes) {
 				p.EnqueueStalls.Inc()
 			}
 			// Already off the fast path (the producer is about to sleep), so
-			// the auto-policy bookkeeping mutex costs nothing that matters.
+			// the auto-policy bookkeeping mutex and the stall clock reads cost
+			// nothing that matters.
 			s.eng.noteStall()
+			var t0 time.Time
+			if s.stages != nil {
+				t0 = time.Now()
+			}
 			for s.n == len(s.ring) && !s.closed {
 				s.notFull.Wait()
+			}
+			if s.stages != nil {
+				s.stages.QueueWait.Observe(uint64(time.Since(t0)))
 			}
 		}
 		if s.closed {
@@ -313,17 +342,48 @@ func (s *shard) enqueue(items []trace.Access, p *obs.PipelineProbes) {
 }
 
 // worker drains the ring in batches and runs Algorithm 1 on its partition.
-func (s *shard) worker(batch int, p *obs.PipelineProbes, wg *sync.WaitGroup) {
+// The goroutine runs under a runtime/pprof "shard=<idx>" label so CPU
+// profiles pulled from the -pprof endpoint attribute samples per shard.
+func (s *shard) worker(idx, batch int, p *obs.PipelineProbes, wg *sync.WaitGroup) {
 	defer wg.Done()
+	pprof.Do(context.Background(), pprof.Labels("shard", strconv.Itoa(idx)), func(context.Context) {
+		s.drainLoop(batch, p)
+	})
+}
+
+// drainLoop is the worker body. Timeline spans are busy periods — one span
+// from the first drained batch after an idle wait until the queue next runs
+// dry — so a saturated run records a handful of spans, not one per batch.
+// Stage timing is per drained batch: at most four monotonic-clock reads per
+// BatchSize accesses.
+func (s *shard) drainLoop(batch int, p *obs.PipelineProbes) {
 	scratch := make([]trace.Access, batch)
+	st := s.stages
+	busy := false
 	for {
 		s.mu.Lock()
+		if busy && s.n == 0 && !s.closed {
+			// Going idle: close the busy span before sleeping.
+			busy = false
+			s.track.End("busy")
+		}
 		for s.n == 0 && !s.closed {
 			s.notEmpty.Wait()
 		}
 		if s.n == 0 && s.closed {
 			s.mu.Unlock()
+			if busy {
+				s.track.End("busy")
+			}
 			return
+		}
+		if s.track != nil && !busy {
+			busy = true
+			s.track.Begin("busy")
+		}
+		var t0 time.Time
+		if st != nil {
+			t0 = time.Now()
 		}
 		k := s.n
 		if k > len(scratch) {
@@ -342,7 +402,16 @@ func (s *shard) worker(batch int, p *obs.PipelineProbes, wg *sync.WaitGroup) {
 		// Broadcast, not Signal: several producers may block on one shard in
 		// parallel engine mode and k freed slots can admit all of them.
 		s.notFull.Broadcast()
+		var t1 time.Time
+		if st != nil {
+			t1 = time.Now()
+		}
 		s.d.ProcessBatch(scratch[:k])
+		var t2 time.Time
+		if st != nil {
+			t2 = time.Now()
+			st.BatchService.Observe(uint64(t2.Sub(t1)))
+		}
 		s.processed.Add(uint64(k))
 		if s.windows != nil {
 			if len(s.evbuf) > 0 {
@@ -367,6 +436,13 @@ func (s *shard) worker(batch int, p *obs.PipelineProbes, wg *sync.WaitGroup) {
 				}
 			}
 		}
+		if st != nil {
+			t3 := time.Now()
+			if s.windows != nil {
+				st.Window.Observe(uint64(t3.Sub(t2)))
+			}
+			st.Drain.Observe(uint64(t3.Sub(t0)))
+		}
 		if p != nil {
 			p.BatchSizes.Observe(uint64(k))
 		}
@@ -384,6 +460,10 @@ type Engine struct {
 
 	gate    *detect.Gate
 	dropped atomic.Uint64
+
+	// track is the engine-level timeline row: policy-transition instants and
+	// sampled degrade-drop instants land here (nil when the timeline is off).
+	track *obs.Track
 
 	// monitors holds each shard's private accuracy monitor (empty when
 	// Options.Accuracy is nil); accAlarm is the engine-level warn-once latch
@@ -428,6 +508,9 @@ func New(opts Options) (*Engine, error) {
 		}
 	}
 	e := &Engine{opts: opts, shards: make([]*shard, opts.Shards)}
+	if opts.Timeline != nil {
+		e.track = opts.Timeline.Track("engine")
+	}
 	if opts.PhaseWindow > 0 {
 		closer, err := comm.NewWindowCloser(opts.Threads, opts.PhaseWindow)
 		if err != nil {
@@ -455,7 +538,10 @@ func New(opts Options) (*Engine, error) {
 			}
 			e.monitors = append(e.monitors, mon)
 		}
-		s := &shard{backend: backend, eng: e, ring: make([]trace.Access, opts.QueueCapacity)}
+		s := &shard{backend: backend, eng: e, ring: make([]trace.Access, opts.QueueCapacity), stages: opts.Stages}
+		if opts.Timeline != nil {
+			s.track = opts.Timeline.Track("shard-" + strconv.Itoa(i))
+		}
 		onEvent := opts.OnEvent
 		if opts.PhaseWindow > 0 {
 			s.windows, err = comm.NewWindowSet(opts.Threads, opts.PhaseWindow)
@@ -480,6 +566,7 @@ func New(opts Options) (*Engine, error) {
 			RedundancyCacheBits: opts.RedundancyCacheBits,
 			Accuracy:            mon,
 			Probes:              opts.DetectProbes,
+			Overhead:            opts.Overhead,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: shard %d: %w", i, err)
@@ -489,9 +576,9 @@ func New(opts Options) (*Engine, error) {
 		s.notFull.L = &s.mu
 		e.shards[i] = s
 	}
-	for _, s := range e.shards {
+	for i, s := range e.shards {
 		e.wg.Add(1)
-		go s.worker(e.opts.BatchSize, e.opts.Probes, &e.wg)
+		go s.worker(i, e.opts.BatchSize, e.opts.Probes, &e.wg)
 	}
 	return e, nil
 }
@@ -545,6 +632,7 @@ func (e *Engine) noteStall() {
 		if p := e.opts.Probes; p != nil {
 			p.PolicyTransitions.Inc()
 		}
+		e.track.Instant("policy-degrade")
 		e.winStart, e.winStalls = time.Time{}, 0
 	}
 }
@@ -566,6 +654,7 @@ func (e *Engine) maybeRestore() {
 		if p := e.opts.Probes; p != nil {
 			p.PolicyTransitions.Inc()
 		}
+		e.track.Instant("policy-restore")
 	}
 }
 
@@ -584,14 +673,28 @@ func (e *Engine) Process(a trace.Access) {
 	s := e.shards[e.route(a.Addr)]
 	if a.Kind == trace.Read && s.depth.Load() >= int64(s.capacity()) && e.thinReads() {
 		if !e.gate.Admit(a.Thread) {
-			e.dropped.Add(1)
-			if p := e.opts.Probes; p != nil {
-				p.DroppedReads.Inc()
-			}
+			e.noteDrop()
 			return
 		}
 	}
 	s.enqueue([]trace.Access{a}, e.opts.Probes)
+}
+
+// dropInstantEvery subsamples degrade-drop timeline instants: drops arrive in
+// bursts of thousands while a queue is saturated, so the timeline marks the
+// first drop of each power-of-two stride rather than every one.
+const dropInstantEvery = 4096
+
+// noteDrop counts one degraded read drop and, with a timeline attached,
+// emits a sampled drop instant on the engine track.
+func (e *Engine) noteDrop() {
+	n := e.dropped.Add(1)
+	if p := e.opts.Probes; p != nil {
+		p.DroppedReads.Inc()
+	}
+	if e.track != nil && n&(dropInstantEvery-1) == 1 {
+		e.track.Instant("degrade-drop")
+	}
 }
 
 // Probe adapts the engine to the executor's instrumentation hook.
@@ -631,6 +734,10 @@ type Producer struct {
 	// concurrent stats snapshots, hence atomics.
 	peak    atomic.Int64
 	flushes atomic.Uint64
+
+	// track is this producer's timeline row; flush spans land here (nil when
+	// the timeline is off).
+	track *obs.Track
 }
 
 // NewProducer returns a staging handle for one producing goroutine.
@@ -648,6 +755,9 @@ func (e *Engine) NewProducer(flushOnThreadSwitch bool) *Producer {
 		p.pending[i] = make([]trace.Access, 0, e.opts.BatchSize)
 	}
 	e.prodMu.Lock()
+	if e.opts.Timeline != nil {
+		p.track = e.opts.Timeline.Track("producer-" + strconv.Itoa(len(e.producers)))
+	}
 	e.producers = append(e.producers, p)
 	e.prodMu.Unlock()
 	return p
@@ -669,10 +779,7 @@ func (p *Producer) Process(a trace.Access) {
 	s := e.shards[i]
 	if a.Kind == trace.Read && s.depth.Load() >= int64(s.capacity()) && e.thinReads() {
 		if !e.gate.Admit(a.Thread) {
-			e.dropped.Add(1)
-			if pr := e.opts.Probes; pr != nil {
-				pr.DroppedReads.Inc()
-			}
+			e.noteDrop()
 			return
 		}
 	}
@@ -682,7 +789,9 @@ func (p *Producer) Process(a trace.Access) {
 		p.peak.Store(int64(p.staged))
 	}
 	if len(p.pending[i]) == e.opts.BatchSize {
+		p.track.Begin("flush")
 		s.enqueue(p.pending[i], e.opts.Probes)
+		p.track.End("flush")
 		p.pending[i] = p.pending[i][:0]
 		p.staged -= e.opts.BatchSize
 		p.noteFlush()
@@ -703,6 +812,10 @@ func (p *Producer) ProcessBatch(batch []trace.Access) {
 // at any ordering boundary); staged accesses are otherwise invisible to the
 // shard workers.
 func (p *Producer) Flush() {
+	withSpan := p.track != nil && p.staged > 0
+	if withSpan {
+		p.track.Begin("flush")
+	}
 	flushed := false
 	for i, batch := range p.pending {
 		if len(batch) > 0 {
@@ -714,6 +827,9 @@ func (p *Producer) Flush() {
 	p.staged = 0
 	if flushed {
 		p.noteFlush()
+	}
+	if withSpan {
+		p.track.End("flush")
 	}
 }
 
@@ -779,6 +895,10 @@ func (e *Engine) advancePhasesAt(frontier uint64) int {
 	if e.phaseCloser == nil {
 		return 0
 	}
+	var t0 time.Time
+	if e.opts.Stages != nil {
+		t0 = time.Now()
+	}
 	sources := make([]*comm.WindowSet, len(e.shards))
 	for i, s := range e.shards {
 		sources[i] = s.windows
@@ -789,6 +909,9 @@ func (e *Engine) advancePhasesAt(frontier uint64) int {
 		if d := e.phaseCloser.Late() - lateBefore; d > 0 {
 			p.LateWindows.Add(d)
 		}
+	}
+	if e.opts.Stages != nil {
+		e.opts.Stages.Window.Observe(uint64(time.Since(t0)))
 	}
 	return n
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 
 	"commprof/internal/obs"
 )
@@ -228,6 +229,11 @@ type Decoder struct {
 	// record. Set it before the first Next call; nil keeps decoding
 	// uninstrumented.
 	Probes *obs.TraceProbes
+
+	// Stages, when non-nil, observes each NextBatch call's wall time into the
+	// decode stage-latency histogram (two monotonic-clock reads per batch, not
+	// per record). Nil keeps the batch path untimed.
+	Stages *obs.StageProbes
 
 	br      *bufio.Reader
 	version uint32
@@ -567,6 +573,17 @@ func (d *Decoder) NextBatch(buf []Access) ([]Access, error) {
 	if cap(buf) == 0 {
 		return nil, fmt.Errorf("trace: NextBatch requires a buffer with non-zero capacity")
 	}
+	if d.Stages == nil {
+		return d.nextBatchAny(buf)
+	}
+	t0 := time.Now()
+	out, err := d.nextBatchAny(buf)
+	d.Stages.Decode.Observe(uint64(time.Since(t0)))
+	return out, err
+}
+
+// nextBatchAny dispatches to the per-version bulk decode.
+func (d *Decoder) nextBatchAny(buf []Access) ([]Access, error) {
 	if d.version == codecVersion3 {
 		return d.nextBatch3(buf)
 	}

@@ -71,17 +71,22 @@ func (p *phaseState) regionName(id int32) string {
 }
 
 // onClose returns the window-close callback that feeds the live layer, with a
-// tracer span per closed window; nil when the run has no telemetry (nothing
-// consumes live windows, and the final report recomputes from the complete
-// merged set anyway).
+// tracer span and a timeline instant per closed window; nil when the run has
+// no telemetry (nothing consumes live windows, and the final report
+// recomputes from the complete merged set anyway).
 func (p *phaseState) onClose() func(w *comm.Window, end uint64) {
 	if p == nil || p.live == nil {
 		return nil
+	}
+	var track *obs.Track
+	if tl := p.tel.Timeline(); tl != nil {
+		track = tl.Track("engine")
 	}
 	return func(w *comm.Window, end uint64) {
 		sp := p.tel.span("phase-window")
 		p.live.ObserveWindow(w, end)
 		sp.End()
+		track.Instant("window-close")
 	}
 }
 

@@ -275,11 +275,34 @@ func live(accs []trace.Access, goroutines int) error {
 	if slots := envInt("COMMPROF_SIG", 0); slots > 0 {
 		opts.SignatureSlots = uint64(slots)
 	}
+	// COMMPROF_TIMELINE=path records the analysis's execution timeline and
+	// writes it as Chrome/Perfetto trace-event JSON alongside the report.
+	timelinePath := os.Getenv("COMMPROF_TIMELINE")
+	var tel *commprof.Telemetry
+	if timelinePath != "" {
+		tel = commprof.NewTelemetry()
+		tel.EnableTimeline()
+		opts.Telemetry = tel
+	}
 	rep, err := commprof.ProfileTraceParallel(converted, regions, goroutines, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Print(rep.Summary())
+	if timelinePath != "" {
+		f, err := os.Create(timelinePath)
+		if err != nil {
+			return err
+		}
+		err = tel.WriteTimeline(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "commprof/probe: wrote execution timeline to %s\n", timelinePath)
+	}
 	return nil
 }
 

@@ -3,6 +3,7 @@ package commprof
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"commprof/internal/detect"
 	"commprof/internal/exec"
@@ -123,6 +124,10 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 	tel := opts.Telemetry
 	probes := tel.probes()
 	dec.Probes = probes.TraceProbes()
+	// Stage timing: decode time is observed inside the decoder, the analyser
+	// side of each batch in the loops below. Nil probes keep both paths bare.
+	dec.Stages = probes.StageProbes()
+	stages := probes.StageProbes()
 	var stats exec.Stats
 	seen := 0
 	// count validates and tallies one decoded batch before it reaches the
@@ -174,9 +179,23 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 				pe.Close()
 				return nil, err
 			}
+			var t0 time.Time
+			if stages != nil {
+				t0 = time.Now()
+			}
 			producer.ProcessBatch(batch)
+			if stages != nil {
+				stages.Producer.Observe(uint64(time.Since(t0)))
+			}
+		}
+		var t0 time.Time
+		if stages != nil {
+			t0 = time.Now()
 		}
 		producer.Flush()
+		if stages != nil {
+			stages.Producer.Observe(uint64(time.Since(t0)))
+		}
 		pe.Close()
 		rep, tree, err := buildReportSharded("replay", threads, pe, stats, opts.MaxHotspots, tel)
 		if err != nil {
@@ -207,6 +226,7 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 		RedundancyCacheBits: opts.RedundancyCacheBits,
 		Accuracy:            mon,
 		Probes:              probes.DetectProbes(),
+		Overhead:            probes.OverheadProbes(),
 	}
 	ps, err := newPhaseState(opts, dec.Table(), tel, probes)
 	if err != nil {
@@ -241,7 +261,14 @@ func Replay(r io.Reader, threads int, opts Options) (*Report, error) {
 		if err := count(batch); err != nil {
 			return nil, err
 		}
+		var t0 time.Time
+		if stages != nil {
+			t0 = time.Now()
+		}
 		d.ProcessBatch(batch)
+		if stages != nil {
+			stages.BatchService.Observe(uint64(time.Since(t0)))
+		}
 	}
 	rep, tree, err := buildReport("replay", threads, d, stats, backend.FootprintBytes(), opts.MaxHotspots, tel)
 	if err != nil {

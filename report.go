@@ -304,6 +304,44 @@ func accuracyReport(est accuracy.Estimate, rec accuracy.Recommendation, shadowBy
 	}
 }
 
+// OverheadReport decomposes a run's wall time into the profiler's own
+// analysis stages — where the slowdown the paper's Fig. 4 measures actually
+// goes. Decode, Queue, Window and Merge come from exact per-batch timings;
+// BatchService time (the shard workers' detector time) is split into
+// Signature, Redundancy and Shadow using a 1-in-256 sampled sub-timing, with
+// the sampled estimates clamped so the split always sums to the measured
+// batch-service total. Present on replay and sharded runs, where the
+// instrumented stage boundaries exist; nil on purely synthetic serial runs.
+type OverheadReport struct {
+	// EngineWallNanos is wall time from run wiring to report build. With K
+	// parallel shard workers the attributed stage time can legitimately
+	// exceed it (the buckets sum CPU time across workers).
+	EngineWallNanos uint64
+	// DecodeNanos is trace decode time (Decoder.NextBatch).
+	DecodeNanos uint64
+	// QueueNanos is producer-side time: staging, routing and enqueueing into
+	// the shard queues, including time blocked on a full queue.
+	QueueNanos uint64
+	// SignatureNanos is detector time not attributed to the redundancy cache
+	// or accuracy shadow: signature queries/updates, matrices, region
+	// attribution.
+	SignatureNanos uint64
+	// RedundancyNanos / ShadowNanos are the sampled shares of detector time
+	// spent in the redundancy fast path and the accuracy monitor's exact
+	// shadow.
+	RedundancyNanos uint64
+	ShadowNanos     uint64
+	// WindowNanos is phase-window flush and advance time.
+	WindowNanos uint64
+	// MergeNanos is end-of-run shard merge and tree-build time.
+	MergeNanos uint64
+	// AttributedNanos sums the exactly-measured buckets (decode + queue +
+	// batch service + window + merge); AttributedShare divides it by
+	// EngineWallNanos.
+	AttributedNanos uint64
+	AttributedShare float64
+}
+
 // PhaseReport is one detected communication phase (§V-A4).
 type PhaseReport struct {
 	Start, End uint64 // logical-time interval
@@ -387,6 +425,11 @@ type Report struct {
 	// counters/gauges/histograms plus pipeline-phase spans). Nil unless
 	// Options.Telemetry was set.
 	Telemetry *TelemetryReport `json:",omitempty"`
+	// Overhead decomposes the run's wall time into the profiler's own
+	// analysis stages. Nil unless Options.Telemetry was set and the run went
+	// through an instrumented stage boundary (replay or the sharded
+	// pipeline).
+	Overhead *OverheadReport `json:",omitempty"`
 }
 
 // Summary renders a human-readable overview.
@@ -414,6 +457,14 @@ func (r *Report) Summary() string {
 		for _, reg := range c.Regions {
 			fmt.Fprintf(&b, "  %s: %d elided\n", reg.Region, reg.Elided)
 		}
+	}
+	if o := r.Overhead; o != nil {
+		fmt.Fprintf(&b, "overhead attribution: %.1f%% of %.1fms wall attributed — decode %.1fms, queue %.1fms, signature %.1fms, redundancy %.1fms, shadow %.1fms, window %.1fms, merge %.1fms\n",
+			100*o.AttributedShare, float64(o.EngineWallNanos)/1e6,
+			float64(o.DecodeNanos)/1e6, float64(o.QueueNanos)/1e6,
+			float64(o.SignatureNanos)/1e6, float64(o.RedundancyNanos)/1e6,
+			float64(o.ShadowNanos)/1e6, float64(o.WindowNanos)/1e6,
+			float64(o.MergeNanos)/1e6)
 	}
 	if a := r.Accuracy; a != nil {
 		fmt.Fprintf(&b, "accuracy monitor: 1/%d of granules shadowed (%d accesses, %d sig events), estimated FPR %.2f%% (95%% CI %.2f–%.2f%%), target %.2f%%, recommended slots %d (%.1f KB)\n",

@@ -55,6 +55,16 @@
 #              the v3 batched path with the speedup. The acceptance bars:
 #              >=3x smaller records and >=1.3x faster batched decode.
 #
+#   timeline   Execution-timeline observability overhead on the sharded
+#              replay path. Runs the TimelineOverhead benchmarks in the
+#              root package (timeline off — no Telemetry, every recording
+#              site a nil-check no-op — vs the full layer: span tracks,
+#              stage latency histograms, overhead attribution, counter
+#              sampler) over the BENCH_TIMELINE_APPS workloads and writes
+#              BENCH_timeline.json with ns/access per mode and the relative
+#              overhead per workload. The acceptance budget is <=5% on
+#              simlarge.
+#
 #   accuracy   Accuracy-monitor overhead on the detection hot loop. Runs the
 #              ProcessMonitor benchmarks in internal/accuracy (monitor off,
 #              then shadow slices 1/64, 1/8 and 1/1) over the BENCH_APPS
@@ -75,6 +85,10 @@
 #   BENCH_CODEC_TIME  codec -benchtime           (default 10x; decode passes
 #                are millisecond-scale, so extra iterations are cheap)
 #   BENCH_CODEC_PROG  codec frontend program     (default workerpool)
+#   BENCH_TIMELINE_APPS  timeline workload list  (default "fft radix")
+#   BENCH_TIMELINE_TIME  timeline -benchtime     (default 2s; single
+#                replays are tens of milliseconds, so the global 3x default
+#                is too noisy for a percent-level overhead comparison)
 # Parallel speedup needs spare cores: with GOMAXPROCS=1 the sharded rows
 # measure queueing overhead and cache-locality gains only. The hotpath mode
 # is single-threaded by construction and unaffected.
@@ -193,6 +207,64 @@ bench_phases() {
 		printf "  \"baseline_ns_per_access\": %.1f,\n  \"windowed_ns_per_access\": %.1f,\n", base, win
 		printf "  \"overhead_pct\": %.2f,\n  \"budget_pct\": 5.0\n}\n", 100 * (win - base) / base
 	}' > "$out"
+
+	echo "wrote $out"
+	cat "$out"
+}
+
+bench_timeline() {
+	apps="${BENCH_TIMELINE_APPS:-fft radix}"
+	ttime="${BENCH_TIMELINE_TIME:-2s}"
+	out="BENCH_timeline.json"
+	tmp=$(mktemp)
+	trap 'rm -f "$tmp"' EXIT
+
+	for app in $apps; do
+		echo "== bench timeline: $app/$size (benchtime $ttime, count 3) =="
+		# A single replay is tens of milliseconds and background machine
+		# load swings on the scale of whole benchmark modes, so comparing
+		# one aggregate off number against one aggregate on number is at
+		# the mercy of which mode caught the quiet window. -count 3
+		# interleaves off,on,off,on,... in time; each adjacent pair sees
+		# the same load, and the median of the pairwise overheads is the
+		# reported figure.
+		raw=$(BENCH_APP="$app" BENCH_SIZE="$size" go test -run '^$' -bench TimelineOverhead \
+			-benchtime "$ttime" -count 3 .)
+		echo "$raw"
+
+		echo "$raw" | awk -v app="$app" '
+		/^BenchmarkTimelineOverhead/ {
+			ns = ""
+			for (i = 2; i < NF; i++) {
+				if ($(i + 1) == "ns/access") ns = $i
+			}
+			if (ns == "") next
+			if ($1 ~ /\/off/) off[no++] = ns
+			else if ($1 ~ /\/on/) on[ny++] = ns
+		}
+		END {
+			n = (no < ny ? no : ny)
+			if (n == 0) exit 1
+			for (i = 0; i < n; i++) pct[i] = 100 * (on[i] - off[i]) / off[i]
+			# median of the pairwise overheads (n is 3 in practice)
+			for (i = 0; i < n; i++)
+				for (j = i + 1; j < n; j++)
+					if (pct[j] < pct[i]) { t = pct[i]; pct[i] = pct[j]; pct[j] = t
+						t = off[i]; off[i] = off[j]; off[j] = t
+						t = on[i]; on[i] = on[j]; on[j] = t }
+			m = int(n / 2)
+			printf "    {\"workload\": \"%s\", \"disabled_ns_per_access\": %.1f, \"enabled_ns_per_access\": %.1f, \"overhead_pct\": %.2f}\n",
+				app, off[m], on[m], pct[m]
+		}' >> "$tmp"
+	done
+
+	awk -v size="$size" '
+	{ rows[n++] = $0 }
+	END {
+		printf "{\n  \"size\": \"%s\",\n  \"budget_pct\": 5.0,\n  \"rows\": [\n", size
+		for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+		printf "  ]\n}\n"
+	}' "$tmp" > "$out"
 
 	echo "wrote $out"
 	cat "$out"
@@ -388,12 +460,13 @@ case "$mode" in
 pipeline) bench_pipeline ;;
 hotpath) bench_hotpath ;;
 phases) bench_phases ;;
+timeline) bench_timeline ;;
 coalesce) bench_coalesce ;;
 codec) bench_codec ;;
 accuracy) bench_accuracy ;;
 frontend) bench_frontend ;;
 *)
-	echo "bench.sh: unknown mode '$mode' (want pipeline, hotpath, phases, coalesce, codec, accuracy or frontend)" >&2
+	echo "bench.sh: unknown mode '$mode' (want pipeline, hotpath, phases, timeline, coalesce, codec, accuracy or frontend)" >&2
 	exit 2
 	;;
 esac

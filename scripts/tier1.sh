@@ -4,7 +4,10 @@
 # the packages with lock-free hot paths (signature memory), real concurrency
 # (the parallel engine mode, the sharded analysis pipeline, replay producer
 # staging), blocking queues (the detect queue reproductions), merge-order
-# algebra (comm) and the static-coalescing differential wall (passes), plus
+# algebra (comm), the static-coalescing differential wall (passes) and the
+# observability primitives (obs timelines, tracers, histograms) plus a
+# facade-level race pass scraping /metrics and /progress during a live
+# sharded run, plus
 # a short fuzz smoke over the trace codec, the source instrumenter and the
 # coalescing pass, and an instrument+vet check of every example program
 # under testdata/ via the commtrace driver.
@@ -29,10 +32,14 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (sig, exec, pipeline, detect, redundancy, accuracy, trace, comm, patterns, metrics, instrument, passes) =="
+echo "== go test -race (sig, exec, pipeline, detect, redundancy, accuracy, trace, comm, patterns, metrics, instrument, passes, obs) =="
 go test -race ./internal/sig/... ./internal/exec/... ./internal/pipeline/... ./internal/detect/... \
 	./internal/redundancy/... ./internal/accuracy/... ./internal/trace/... ./internal/comm/... \
-	./internal/patterns/... ./internal/metrics/... ./internal/instrument/... ./internal/passes/...
+	./internal/patterns/... ./internal/metrics/... ./internal/instrument/... ./internal/passes/... \
+	./internal/obs/...
+
+echo "== go test -race (facade timeline + live concurrent scrape) =="
+go test -race -run 'TestTimeline|TestTelemetryConcurrentScrape|TestReportOverheadAttribution|TestProgressStageLatencies' .
 
 echo "== commtrace -mode check (instrument + vet every example program) =="
 for pkg in workerpool chanpipe striped; do

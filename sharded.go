@@ -3,6 +3,7 @@ package commprof
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"commprof/internal/accuracy"
 	"commprof/internal/comm"
@@ -81,6 +82,9 @@ func newPipeline(opts Options, threads int, table *trace.Table, probes *obs.Prob
 		PhaseWindow:         opts.PhaseWindow,
 		OnWindowClose:       ps.onClose(),
 		PhaseProbes:         probes.PhaseProbes(),
+		Stages:              probes.StageProbes(),
+		Overhead:            probes.OverheadProbes(),
+		Timeline:            opts.Telemetry.Timeline(),
 	})
 }
 
@@ -209,12 +213,20 @@ func attachPhasesSharded(rep *Report, pe *pipeline.Engine, ps *phaseState) error
 // form, attaching the Pipeline section.
 func buildReportSharded(name string, threads int, pe *pipeline.Engine, stats exec.Stats, maxHotspots int, tel *Telemetry) (*Report, *comm.Tree, error) {
 	build := tel.span("tree-build")
+	stages := tel.probes().StageProbes()
+	var t0 time.Time
+	if stages != nil {
+		t0 = time.Now()
+	}
 	tree, err := pe.Tree()
 	if err != nil {
 		return nil, nil, err
 	}
 	if err := tree.CheckSummationLaw(); err != nil {
 		return nil, nil, fmt.Errorf("commprof: internal invariant violated: %w", err)
+	}
+	if stages != nil {
+		stages.Merge.Observe(uint64(time.Since(t0)))
 	}
 	build.End()
 	st := pe.Stats()

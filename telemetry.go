@@ -3,6 +3,7 @@ package commprof
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,21 @@ type Telemetry struct {
 	mu     sync.Mutex
 	server *obs.Server
 
+	// timeline is the execution-timeline recorder, nil until EnableTimeline;
+	// spansAdded tracks how many tracer spans WriteTimeline has already
+	// replayed onto it so repeated exports do not duplicate events. pprof
+	// controls whether Serve mounts the net/http/pprof handlers. All three
+	// are guarded by mu.
+	timeline   *obs.Timeline
+	spansAdded int
+	pprof      bool
+
+	// ovhBase snapshots the stage/overhead totals at run wiring so finishRun
+	// can attribute exactly this run's time even though the registry's
+	// counters accumulate across runs on a reused handle.
+	ovhMu   sync.Mutex
+	ovhBase overheadBaseline
+
 	// Fill-sampler state: the periodic goroutine that probes the production
 	// signature's bloom fill ratio during a run (see startFillSampler).
 	fillMu      sync.Mutex
@@ -68,9 +84,11 @@ const maxFillSamples = 240
 
 // startFillSampler begins the periodic fill probe for one run: each tick
 // sets the sig_fill_ratio gauge, records a trajectory point, and (when eval
-// is non-nil) feeds the saturation alarm. Any previous run's sampler is
-// stopped and its trajectory discarded. Off when the Telemetry is nil.
-func (t *Telemetry) startFillSampler(start time.Time, fill func() float64, eval func(float64)) {
+// is non-nil) feeds the saturation alarm. tick, when non-nil, runs on the
+// same cadence — the timeline's counter-track sampler rides along here so a
+// run has exactly one periodic probe goroutine. Any previous run's sampler
+// is stopped and its trajectory discarded. Off when the Telemetry is nil.
+func (t *Telemetry) startFillSampler(start time.Time, fill func() float64, eval func(float64), tick func()) {
 	if t == nil || fill == nil {
 		return
 	}
@@ -102,6 +120,9 @@ func (t *Telemetry) startFillSampler(start time.Time, fill func() float64, eval 
 			t.fillSamples = kept
 		}
 		t.fillMu.Unlock()
+		if tick != nil {
+			tick()
+		}
 	}
 	go func() {
 		defer close(done)
@@ -211,6 +232,69 @@ func NewTelemetry() *Telemetry {
 	return t
 }
 
+// EnableTimeline switches on execution-timeline recording: per-shard and
+// per-producer span tracks, policy/alarm instants and periodic counter
+// tracks, exportable as Chrome/Perfetto trace-event JSON via WriteTimeline.
+// Call before the run starts; runs wired while the timeline is off record
+// nothing. Idempotent and nil-safe.
+func (t *Telemetry) EnableTimeline() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.timeline == nil {
+		t.timeline = obs.NewTimeline()
+	}
+	t.mu.Unlock()
+}
+
+// Timeline returns the execution timeline, nil unless EnableTimeline was
+// called. The internal layers receive this handle at wiring time; a nil
+// timeline keeps every recording site a nil-check no-op.
+func (t *Telemetry) Timeline() *obs.Timeline {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.timeline
+}
+
+// EnablePprof makes the next Serve mount the net/http/pprof handlers under
+// /debug/pprof/ alongside the metrics endpoints. Nil-safe.
+func (t *Telemetry) EnablePprof() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.pprof = true
+	t.mu.Unlock()
+}
+
+// WriteTimeline exports the execution timeline as a Chrome/Perfetto
+// trace-event JSON array (load it at ui.perfetto.dev or chrome://tracing).
+// The run tracer's finished phases are replayed onto a "run" track first, so
+// the export shows facade phases, shard workers, producers and counter
+// samples on one timebase. Without EnableTimeline it writes an empty array.
+// Safe to call repeatedly; already-exported tracer spans are not duplicated.
+func (t *Telemetry) WriteTimeline(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	t.mu.Lock()
+	tl := t.timeline
+	var fresh []obs.Span
+	if tl != nil {
+		spans := t.tracer.Spans()
+		fresh = spans[t.spansAdded:]
+		t.spansAdded = len(spans)
+	}
+	t.mu.Unlock()
+	tl.AddSpans("run", fresh)
+	return tl.WriteTraceEvents(w)
+}
+
 // WriteProm exports every metric in the Prometheus text format.
 func (t *Telemetry) WriteProm(w io.Writer) error {
 	if t == nil {
@@ -239,7 +323,11 @@ func (t *Telemetry) Serve(addr string) (string, error) {
 	if t.server != nil {
 		return "", fmt.Errorf("commprof: telemetry server already running on %s", t.server.Addr())
 	}
-	srv, err := obs.Serve(addr, t.reg, t.tracer, func() any { return t.Progress() })
+	var opts []obs.ServeOption
+	if t.pprof {
+		opts = append(opts, obs.WithPprof())
+	}
+	srv, err := obs.Serve(addr, t.reg, t.tracer, func() any { return t.Progress() }, opts...)
 	if err != nil {
 		return "", err
 	}
@@ -337,6 +425,70 @@ type ProgressSnapshot struct {
 	// FillTrajectory is the sampled course of the signature's bloom fill
 	// ratio over the run so far (the periodic sig_fill_ratio probe).
 	FillTrajectory []FillSample `json:"fill_trajectory,omitempty"`
+	// Stages is the live per-stage latency table: one row per pipeline stage
+	// that has recorded observations (decode, queue wait, producer, batch
+	// service, drain, window, merge). Quantiles are upper bounds of the log2
+	// histogram buckets, so they are ≤2× overestimates.
+	Stages []StageLatency `json:"stages,omitempty"`
+}
+
+// StageLatency is one pipeline stage's latency digest in a ProgressSnapshot.
+type StageLatency struct {
+	Stage     string  `json:"stage"`
+	Count     uint64  `json:"count"`
+	MeanNanos float64 `json:"mean_nanos"`
+	P50Nanos  uint64  `json:"p50_nanos"`
+	P99Nanos  uint64  `json:"p99_nanos"`
+}
+
+// stageMetrics maps /progress stage rows to their registry histograms, in
+// pipeline order.
+var stageMetrics = []struct{ stage, metric string }{
+	{"decode", "stage_decode_nanos"},
+	{"queue_wait", "stage_queue_wait_nanos"},
+	{"producer", "stage_producer_nanos"},
+	{"batch_service", "stage_batch_service_nanos"},
+	{"drain", "stage_drain_nanos"},
+	{"window", "stage_window_nanos"},
+	{"merge", "stage_merge_nanos"},
+}
+
+// histQuantile reads the q-quantile's bucket upper bound from a cumulative
+// log2 histogram snapshot.
+func histQuantile(s obs.HistogramSnapshot, q float64) uint64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	for _, b := range s.Buckets {
+		if b.Count >= target {
+			return b.UpperBound
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].UpperBound
+}
+
+// stageLatencies builds the live stage table from the registry's stage
+// histograms; stages with no observations are omitted.
+func (t *Telemetry) stageLatencies() []StageLatency {
+	if t == nil {
+		return nil
+	}
+	var out []StageLatency
+	for _, sm := range stageMetrics {
+		s := t.reg.Histogram(sm.metric).Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		out = append(out, StageLatency{
+			Stage:     sm.stage,
+			Count:     s.Count,
+			MeanNanos: float64(s.Sum) / float64(s.Count),
+			P50Nanos:  histQuantile(s, 0.5),
+			P99Nanos:  histQuantile(s, 0.99),
+		})
+	}
+	return out
 }
 
 // LoopPatternStatus is one hot loop's live pattern classification in a
@@ -406,6 +558,142 @@ func (t *Telemetry) probes() *obs.Probes {
 	return obs.DefaultProbes(t.reg)
 }
 
+// overheadBaseline is the stage/overhead totals at run wiring. The registry
+// accumulates across runs on a reused handle, so per-run attribution is the
+// delta against this snapshot.
+type overheadBaseline struct {
+	decode, queue, service, window, merge uint64
+	redun, shadow                         uint64
+}
+
+// markOverheadBaseline snapshots the current stage totals; wireRun and
+// wireRunSharded call it so finishRun attributes only this run's time.
+func (t *Telemetry) markOverheadBaseline() {
+	if t == nil {
+		return
+	}
+	p := t.probes()
+	st, ov := p.StageProbes(), p.OverheadProbes()
+	t.ovhMu.Lock()
+	t.ovhBase = overheadBaseline{
+		decode:  st.Decode.Sum(),
+		queue:   st.Producer.Sum(),
+		service: st.BatchService.Sum(),
+		window:  st.Window.Sum(),
+		merge:   st.Merge.Sum(),
+		redun:   ov.RedundancyNanos.Value(),
+		shadow:  ov.ShadowNanos.Value(),
+	}
+	t.ovhMu.Unlock()
+}
+
+// overheadReport decomposes this run's wall time into the profiler's own
+// analysis stages. The bucket sum uses only the exact batch-granularity
+// measurements (decode + queue + batch service + window + merge); the
+// sampled redundancy/shadow estimates merely split batch service into its
+// signature / redundancy / shadow components and are clamped so the
+// signature residual never goes negative. Returns nil when no stage recorded
+// anything (synthetic runs without the instrumented replay/pipeline paths).
+func (t *Telemetry) overheadReport() *OverheadReport {
+	if t == nil {
+		return nil
+	}
+	p := t.probes()
+	st, ov := p.StageProbes(), p.OverheadProbes()
+	t.ovhMu.Lock()
+	base := t.ovhBase
+	t.ovhMu.Unlock()
+	decode := st.Decode.Sum() - base.decode
+	queue := st.Producer.Sum() - base.queue
+	service := st.BatchService.Sum() - base.service
+	window := st.Window.Sum() - base.window
+	merge := st.Merge.Sum() - base.merge
+	attributed := decode + queue + service + window + merge
+	if attributed == 0 {
+		return nil
+	}
+	redun := ov.RedundancyNanos.Value() - base.redun
+	shadow := ov.ShadowNanos.Value() - base.shadow
+	if split := redun + shadow; split > service {
+		scale := float64(service) / float64(split)
+		redun = uint64(float64(redun) * scale)
+		shadow = uint64(float64(shadow) * scale)
+	}
+	start, _ := t.start.Load().(time.Time)
+	wall := uint64(time.Since(start))
+	rep := &OverheadReport{
+		EngineWallNanos: wall,
+		DecodeNanos:     decode,
+		QueueNanos:      queue,
+		SignatureNanos:  service - redun - shadow,
+		RedundancyNanos: redun,
+		ShadowNanos:     shadow,
+		WindowNanos:     window,
+		MergeNanos:      merge,
+		AttributedNanos: attributed,
+	}
+	if wall > 0 {
+		rep.AttributedShare = float64(attributed) / float64(wall)
+	}
+	return rep
+}
+
+// counterTickSharded returns the periodic counter-track sampler for a
+// sharded run: per-shard queue depth, redundancy hit rate and the live FPR
+// estimate, plus a one-shot instant the first time the accuracy alarm trips.
+// Nil when the timeline is off, so the fill sampler skips it entirely.
+func (t *Telemetry) counterTickSharded(pe *pipeline.Engine) func() {
+	tl := t.Timeline()
+	if tl == nil {
+		return nil
+	}
+	ctr := tl.Track("counters")
+	alarmSeen := false
+	return func() {
+		for i := 0; i < pe.Shards(); i++ {
+			ctr.Counter(fmt.Sprintf("queue_depth_shard_%d", i), float64(pe.ShardDepth(i)))
+		}
+		if rst, ok := pe.RedundancyStats(); ok {
+			ctr.Counter("redundancy_hit_rate", rst.HitRate())
+		}
+		if est, ok := pe.AccuracyEstimate(); ok {
+			ctr.Counter("live_fpr", est.EstimatedFPR)
+		}
+		if !alarmSeen {
+			if _, tripped := pe.AccuracyAlarm(); tripped {
+				alarmSeen = true
+				ctr.Instant("accuracy-alarm")
+			}
+		}
+	}
+}
+
+// counterTickSerial is counterTickSharded's counterpart for the serial
+// analyser: redundancy hit rate, live FPR and the alarm instant.
+func (t *Telemetry) counterTickSerial(d *detect.Detector) func() {
+	tl := t.Timeline()
+	if tl == nil {
+		return nil
+	}
+	ctr := tl.Track("counters")
+	mon := d.Accuracy()
+	alarmSeen := false
+	return func() {
+		if rst, ok := d.RedundancyStats(); ok {
+			ctr.Counter("redundancy_hit_rate", rst.HitRate())
+		}
+		if mon != nil {
+			ctr.Counter("live_fpr", mon.Estimate().EstimatedFPR)
+			if !alarmSeen {
+				if _, tripped := mon.Alarm(); tripped {
+					alarmSeen = true
+					ctr.Instant("accuracy-alarm")
+				}
+			}
+		}
+	}
+}
+
 // span opens a pipeline phase; nil-safe.
 func (t *Telemetry) span(name string) *obs.SpanHandle {
 	if t == nil {
@@ -425,9 +713,11 @@ func (t *Telemetry) wireRun(eng *exec.Engine, d *detect.Detector, backend *sig.A
 	}
 	start := time.Now()
 	t.start.Store(start)
+	t.markOverheadBaseline()
 	reg := t.reg
 	if eng != nil {
 		t.tracer.SetClock(eng.Clock)
+		t.Timeline().SetClock(eng.Clock)
 		reg.GaugeFunc("exec_logical_clock", func() float64 { return float64(eng.Clock()) })
 		reg.GaugeFunc("exec_barrier_epochs", func() float64 { return float64(eng.BarrierEpochs()) })
 	}
@@ -460,7 +750,7 @@ func (t *Telemetry) wireRun(eng *exec.Engine, d *detect.Detector, backend *sig.A
 	if mon != nil {
 		eval = mon.Evaluate
 	}
-	t.startFillSampler(start, func() float64 { return backend.FillRatio(256) }, eval)
+	t.startFillSampler(start, func() float64 { return backend.FillRatio(256) }, eval, t.counterTickSerial(d))
 	t.progress.Store(func() ProgressSnapshot {
 		st := d.Stats()
 		elapsed := time.Since(start).Seconds()
@@ -490,6 +780,7 @@ func (t *Telemetry) wireRun(eng *exec.Engine, d *detect.Detector, backend *sig.A
 
 			RedundancyHitRate: redunRate,
 			FillTrajectory:    t.fillTrajectory(),
+			Stages:            t.stageLatencies(),
 		}
 		if eng != nil {
 			snap.Clock = eng.Clock()
@@ -524,9 +815,11 @@ func (t *Telemetry) wireRunSharded(eng *exec.Engine, pe *pipeline.Engine) {
 	}
 	start := time.Now()
 	t.start.Store(start)
+	t.markOverheadBaseline()
 	reg := t.reg
 	if eng != nil {
 		t.tracer.SetClock(eng.Clock)
+		t.Timeline().SetClock(eng.Clock)
 		reg.GaugeFunc("exec_logical_clock", func() float64 { return float64(eng.Clock()) })
 		reg.GaugeFunc("exec_barrier_epochs", func() float64 { return float64(eng.BarrierEpochs()) })
 	}
@@ -564,7 +857,7 @@ func (t *Telemetry) wireRunSharded(eng *exec.Engine, pe *pipeline.Engine) {
 	if monitored {
 		eval = pe.EvaluateAccuracy
 	}
-	t.startFillSampler(start, func() float64 { return pe.FillRatio(256) }, eval)
+	t.startFillSampler(start, func() float64 { return pe.FillRatio(256) }, eval, t.counterTickSharded(pe))
 	t.progress.Store(func() ProgressSnapshot {
 		st := pe.Stats()
 		elapsed := time.Since(start).Seconds()
@@ -593,6 +886,7 @@ func (t *Telemetry) wireRunSharded(eng *exec.Engine, pe *pipeline.Engine) {
 
 			RedundancyHitRate: redunRate,
 			FillTrajectory:    t.fillTrajectory(),
+			Stages:            t.stageLatencies(),
 		}
 		if eng != nil {
 			snap.Clock = eng.Clock()
@@ -671,7 +965,8 @@ func (t *Telemetry) wirePhases(lp *metrics.LivePhases, regionName func(int32) st
 }
 
 // finishRun stops the fill sampler, records end-of-run structure gauges and
-// attaches the snapshot to the report. tree may be nil (no region table).
+// attaches the snapshot — plus the overhead self-attribution, when any stage
+// recorded time — to the report. tree may be nil (no region table).
 func (t *Telemetry) finishRun(rep *Report, tree *comm.Tree) {
 	if t == nil {
 		return
@@ -683,4 +978,5 @@ func (t *Telemetry) finishRun(rep *Report, tree *comm.Tree) {
 		t.reg.Gauge("comm_matrix_nnz").Set(float64(tree.Global.NonZeroCells()))
 	}
 	rep.Telemetry = t.report()
+	rep.Overhead = t.overheadReport()
 }
